@@ -1,0 +1,70 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one artifact of the paper (see the
+per-experiment index in DESIGN.md).  Everything runs under::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks both *time* an operation and *assert* the reproduced
+artifact's shape (who wins, what converges, what is blocked), so a
+passing benchmark run is itself a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import RekeyPolicy, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.member import MemberProtocol
+from repro.enclaves.legacy.leader import LegacyGroupLeader
+from repro.enclaves.legacy.member import LegacyMemberProtocol
+
+
+def build_itgm_group(n_members: int, seed: int = 0,
+                     rekey_policy=RekeyPolicy.MANUAL):
+    """A joined improved-protocol group of the given size."""
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    leader = GroupLeader(
+        "leader", directory,
+        config=LeaderConfig(rekey_policy=rekey_policy),
+        rng=rng.fork("leader"),
+    )
+    wire(net, "leader", leader)
+    members = {}
+    for i in range(n_members):
+        user_id = f"user-{i:03d}"
+        creds = directory.register_password(user_id, f"pw-{i}")
+        member = MemberProtocol(creds, "leader", rng.fork(user_id))
+        members[user_id] = member
+        wire(net, user_id, member)
+        net.post(member.start_join())
+        net.run()
+    return net, leader, members
+
+
+def build_legacy_group(n_members: int, seed: int = 0,
+                       rekey_policy=RekeyPolicy.MANUAL):
+    """A joined legacy group of the given size."""
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    leader = LegacyGroupLeader(
+        "leader", directory, rekey_policy=rekey_policy,
+        rng=rng.fork("leader"),
+    )
+    wire(net, "leader", leader)
+    members = {}
+    for i in range(n_members):
+        user_id = f"user-{i:03d}"
+        creds = directory.register_password(user_id, f"pw-{i}")
+        member = LegacyMemberProtocol(creds, "leader", rng.fork(user_id))
+        members[user_id] = member
+        wire(net, user_id, member)
+        net.post(member.start_join())
+        net.run()
+    return net, leader, members

@@ -1,0 +1,56 @@
+"""Ablation: the stop-and-wait admin channel vs. group size.
+
+The §3.2 nonce chain forces one outstanding AdminMsg per member (the
+next message needs the nonce from the previous Ack).  This bench
+measures broadcast cost as the group grows — the price of ordered,
+replay-proof delivery — and the per-member pipeline behaviour of the
+leader's outboxes.
+"""
+
+import pytest
+
+from conftest import build_itgm_group
+from repro.enclaves.itgm.admin import TextPayload
+
+
+@pytest.mark.parametrize("n_members", [1, 4, 8, 16])
+def test_admin_broadcast(benchmark, n_members):
+    net, leader, members = build_itgm_group(n_members)
+    counter = [0]
+
+    def broadcast():
+        counter[0] += 1
+        net.post_all(
+            leader.broadcast_admin(TextPayload(f"notice-{counter[0]}"))
+        )
+        net.run()
+
+    benchmark(broadcast)
+    # Every member accepted every notice, in order.
+    for user_id, member in members.items():
+        assert member.admin_log == leader.admin_send_log(user_id)
+    benchmark.extra_info["group_size"] = n_members
+
+
+@pytest.mark.parametrize("burst", [1, 8, 32])
+def test_admin_burst_drain(benchmark, burst):
+    """Queue a burst of payloads then drain the stop-and-wait channel:
+    the outbox depth bounds the in-flight count to one."""
+    net, leader, members = build_itgm_group(4)
+    counter = [0]
+
+    def queue_and_drain():
+        out = []
+        for _ in range(burst):
+            counter[0] += 1
+            out += leader.broadcast_admin(TextPayload(f"b{counter[0]}"))
+        # Stop-and-wait: at most one frame per member left the leader.
+        assert len(out) <= len(members)
+        net.post_all(out)
+        net.run()
+        assert all(leader.outbox_depth(uid) == 0 for uid in members)
+
+    benchmark(queue_and_drain)
+    benchmark.extra_info["burst"] = burst
+    for user_id, member in members.items():
+        assert member.admin_log == leader.admin_send_log(user_id)

@@ -1,0 +1,81 @@
+"""Ablation: Dolev-Yao closure costs.
+
+The bounded-exhaustive verification (FIG-4) spends its time in
+Parts/Analz/Synth and ideal-membership; these benches measure those
+operators against knowledge-set size, explaining where the verification
+wall-clock goes and how far the bounds can be pushed.
+"""
+
+import pytest
+
+from repro.formal.fields import (
+    Agent,
+    Concat,
+    Crypt,
+    LongTerm,
+    NonceF,
+    SessionK,
+)
+from repro.formal.ideals import in_ideal
+from repro.formal.knowledge import KnowledgeState, analz, can_synth, parts
+
+A, L = Agent("A"), Agent("L")
+
+
+def protocol_like_fields(n: int) -> list:
+    """n fields shaped like real protocol traffic."""
+    fields = []
+    for i in range(n):
+        key = SessionK(i % 8)
+        fields.append(
+            Crypt(key, Concat((L, A, NonceF(2 * i), NonceF(2 * i + 1),
+                               SessionK(i % 8))))
+        )
+        fields.append(Crypt(LongTerm("A"), Concat((A, L, NonceF(3 * i)))))
+    return fields
+
+
+@pytest.mark.parametrize("n", [10, 50, 200])
+def test_parts_closure(benchmark, n):
+    fields = protocol_like_fields(n)
+    result = benchmark(lambda: parts(fields))
+    assert len(result) > n
+    benchmark.extra_info["fields"] = n
+    benchmark.extra_info["parts"] = len(result)
+
+
+@pytest.mark.parametrize("n", [10, 50, 200])
+def test_analz_closure_with_keys(benchmark, n):
+    fields = protocol_like_fields(n) + [SessionK(i) for i in range(8)]
+    result = benchmark(lambda: analz(fields))
+    # With the keys present, the nonces inside become extractable.
+    assert any(isinstance(f, NonceF) for f in result)
+    benchmark.extra_info["fields"] = n
+
+
+@pytest.mark.parametrize("n", [10, 200])
+def test_incremental_add(benchmark, n):
+    """The explorer's hot path: one observation added to a big closure."""
+    state = KnowledgeState.from_fields(protocol_like_fields(n))
+    new_field = Crypt(SessionK(1), Concat((A, L, NonceF(99_991))))
+
+    result = benchmark(lambda: state.add(new_field))
+    assert result.knows(new_field)
+    benchmark.extra_info["base_fields"] = n
+
+
+def test_synth_membership(benchmark):
+    known = analz(protocol_like_fields(50) + [SessionK(0)])
+    target = Crypt(SessionK(0), Concat((A, L, NonceF(0), NonceF(1))))
+
+    assert benchmark(lambda: can_synth(target, known))
+
+
+def test_ideal_membership(benchmark):
+    secrets = frozenset({SessionK(0), LongTerm("A")})
+    deep = Crypt(
+        LongTerm("C"),
+        Concat((A, Crypt(SessionK(5), Concat((L, SessionK(0)))))),
+    )
+
+    assert benchmark(lambda: in_ideal(deep, secrets))

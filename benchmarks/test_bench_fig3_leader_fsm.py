@@ -1,0 +1,96 @@
+"""FIG-3: the leader's per-user state model.
+
+Reproduces Figure 3 as an executable conformance check — NotConnected /
+WaitingForKeyAck / Connected / WaitingForAck with ReqClose+Oops edges
+from Connected and WaitingForAck — plus handshake and close throughput.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import Credentials
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.enclaves.itgm.member import MemberProtocol
+from repro.exceptions import StateError
+
+
+def make_pair(seed=0):
+    creds = Credentials.from_password("alice", "pw")
+    rng = DeterministicRandom(seed)
+    member = MemberProtocol(creds, "leader", rng.fork("m"))
+    session = LeaderSession("leader", "alice", creds.long_term_key,
+                            rng.fork("l"))
+    return member, session
+
+
+def test_fig3_conformance(benchmark):
+    """The FSM walks exactly the Figure 3 cycle, with key discard
+    (Oops) on close."""
+
+    def walk_figure_3():
+        member, session = make_pair()
+        assert session.state is LeaderState.NOT_CONNECTED
+        # NotConnected --AuthInitReq/AuthKeyDist--> WaitingForKeyAck
+        out1, _ = session.handle(member.start_join())
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+        # Illegal: sending admin before the key ack.
+        try:
+            session.send_admin(TextPayload("early"))
+            raise AssertionError("illegal transition allowed")
+        except StateError:
+            pass
+        # WaitingForKeyAck --AuthAckKey--> Connected
+        out2, _ = member.handle(out1[0])
+        session.handle(out2[0])
+        assert session.state is LeaderState.CONNECTED
+        # Connected --send_admin--> WaitingForAck --Ack--> Connected
+        env = session.send_admin(TextPayload("x"))
+        assert session.state is LeaderState.WAITING_FOR_ACK
+        out3, _ = member.handle(env)
+        session.handle(out3[0])
+        assert session.state is LeaderState.CONNECTED
+        # Connected --ReqClose--> NotConnected, K_a discarded (Oops).
+        fp = session.session_key_fingerprint
+        session.handle(member.start_leave())
+        assert session.state is LeaderState.NOT_CONNECTED
+        assert session.discarded_keys[-1] == fp
+        assert session.admin_log == []  # snd emptied on close (§5.4)
+        return session
+
+    session = benchmark(walk_figure_3)
+    assert session.stats.sessions_opened >= 1
+    # Figure 3 has exactly four states.
+    assert len(LeaderState) == 4
+
+
+def test_handshake_throughput(benchmark):
+    """Full 3-message authentication handshake (leader+member work)."""
+
+    def handshake():
+        member, session = make_pair()
+        out1, _ = session.handle(member.start_join())
+        out2, _ = member.handle(out1[0])
+        session.handle(out2[0])
+        return session
+
+    session = benchmark(handshake)
+    assert session.is_member
+
+
+def test_session_cycle_throughput(benchmark):
+    """Join + one admin exchange + close: one full session lifecycle."""
+
+    def cycle():
+        member, session = make_pair()
+        out1, _ = session.handle(member.start_join())
+        out2, _ = member.handle(out1[0])
+        session.handle(out2[0])
+        env = session.send_admin(TextPayload("x"))
+        out3, _ = member.handle(env)
+        session.handle(out3[0])
+        session.handle(member.start_leave())
+        return session
+
+    session = benchmark(cycle)
+    assert session.stats.sessions_closed >= 1

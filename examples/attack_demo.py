@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Attack demo: every §2.3 weakness, live, against both protocol stacks.
+
+Runs the complete attack matrix — each attack against the original
+Enclaves protocols (§2.2) and against the improved intrusion-tolerant
+protocol (§3.2) — and prints the per-attack evidence.  This is the
+paper's security argument as a program you can watch.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.attacks import run_attack_matrix
+from repro.attacks.suite import format_matrix
+
+
+def main() -> None:
+    rows = run_attack_matrix()
+
+    print("Attack matrix (SEC-2.3 reproduction)")
+    print("=" * 64)
+    print(format_matrix(rows))
+    print()
+
+    for row in rows:
+        print(f"--- {row.attack}  [{row.reference}]")
+        print(f"    legacy:   {row.legacy.detail}")
+        print(f"    improved: {row.itgm.detail}")
+        print()
+
+    mismatches = [row for row in rows if not row.as_expected]
+    if mismatches:
+        raise SystemExit(
+            f"{len(mismatches)} attack(s) did not behave as the paper "
+            f"predicts: {[row.attack for row in mismatches]}"
+        )
+    print("All attacks behaved exactly as the paper predicts: the legacy")
+    print("protocol falls to every §2.3 attack; the improved protocol")
+    print("blocks all of them (and both block impersonation and")
+    print("stale-session-key attacks).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Extensions demo: the paper's footnote and future work, implemented.
+
+1. **Public-key authentication** (§2.2 footnote: "Authentication using
+   public-key cryptography is also possible, but is not currently
+   implemented"): static-static Diffie-Hellman provisions the long-term
+   key P_a; the §3.2 protocol then runs unchanged.
+
+2. **A set of group managers** (§7 future work: "the single leader is
+   replaced by a distributed set of group managers"): crash-recovery
+   failover — the primary dies, a standby takes over, members
+   re-authenticate, the group lives on.
+
+Run:  python examples/extensions_demo.py
+"""
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.failover import run_failover_drill
+from repro.enclaves.itgm.leader import GroupLeader
+from repro.enclaves.itgm.member import MemberProtocol
+from repro.enclaves.pubkey import PublicKeyInfrastructure
+
+
+def pubkey_demo() -> None:
+    print("1. Public-key (DH) provisioning of P_a")
+    print("=" * 54)
+    pki = PublicKeyInfrastructure.create("leader", DeterministicRandom(0))
+    print(f"leader public key: {hex(pki.leader_public_key)[:26]}…")
+
+    alice_creds = pki.enroll_user("alice", DeterministicRandom(1))
+    bob_creds = pki.enroll_user("bob", DeterministicRandom(2))
+    print("enrolled alice and bob (leader never sees a password)")
+
+    net = SyncNetwork()
+    leader = GroupLeader("leader", pki.leader_directory(),
+                         rng=DeterministicRandom(3))
+    wire(net, "leader", leader)
+    alice = MemberProtocol(alice_creds, "leader", DeterministicRandom(4))
+    bob = MemberProtocol(bob_creds, "leader", DeterministicRandom(5))
+    wire(net, "alice", alice)
+    wire(net, "bob", bob)
+    for member in (alice, bob):
+        net.post(member.start_join())
+        net.run()
+    print(f"members after DH-authenticated joins: {leader.members}")
+    print(f"alice's view: {sorted(alice.membership)}")
+    print()
+
+
+def failover_demo() -> None:
+    print("2. Group-manager failover (crash recovery)")
+    print("=" * 54)
+    report = run_failover_drill(n_managers=3,
+                                member_ids=("alice", "bob"), seed=7)
+    print(f"before: primary={report['before']['primary']}, "
+          f"members={report['before']['members']}")
+    print(f"crash {report['after']['dead']} -> promoted "
+          f"{report['after']['primary']}")
+    print(f"after:  members={report['after']['members']}")
+    print(f"post-failover chat received by bob: "
+          f"{report['received']['bob']}")
+    print()
+    print("Safety was never at risk: failover just ends sessions (like")
+    print("any crash) and starts fresh ones — every §5 property is")
+    print("per-session, so the proofs carry over verbatim.")
+
+
+if __name__ == "__main__":
+    pubkey_demo()
+    failover_demo()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Formal verification demo: the §5 proof, machine-checked.
+
+Explores the symbolic protocol model (honest user + honest leader +
+Dolev-Yao spy, optionally a compromised member) and checks, on every
+reachable state and transition:
+
+* regularity and long-term key secrecy (§5.1),
+* session-key secrecy via ideals/coideals (§5.2, Proposition 3),
+* the Figure 4 verification diagram: coverage and every successor
+  obligation (§5.3),
+* message ordering, proper authentication, agreement (§5.4).
+
+Then runs one *mutant* (flawed) model to show the checker actually
+bites.  Run:  python examples/formal_verification.py
+"""
+
+from repro.formal import ModelConfig, verify_protocol
+from repro.formal.explorer import Explorer
+from repro.formal.mutants import NoNonceChainModel
+
+
+def main() -> None:
+    print("1. Verifying the improved protocol (the paper's Theorem suite)")
+    print("=" * 66)
+    for config in [
+        ModelConfig(max_sessions=1, max_admin=2, spy_budget=1),
+        ModelConfig(max_sessions=2, max_admin=2, spy_budget=1),
+        ModelConfig(max_sessions=1, max_admin=1, spy_budget=1,
+                    compromised_member=True),
+    ]:
+        report = verify_protocol(config)
+        print(report.summary())
+        print()
+        if not report.ok:
+            raise SystemExit("verification failed — this should not happen")
+
+    print("2. Negative control: a protocol without the nonce chain")
+    print("=" * 66)
+    print("Removing the AdminMsg freshness check (the legacy new_key flaw)")
+    print("and re-running the same checker:")
+    mutant = NoNonceChainModel(ModelConfig(max_sessions=1, max_admin=2,
+                                           spy_budget=0))
+    result = Explorer(mutant).run()
+    if result.ok:
+        raise SystemExit("the mutant was NOT caught — checker is broken")
+    violation = result.violations[0]
+    print(f"  caught: {violation}")
+    print()
+    print("The explorer found the replay/duplication counterexample the")
+    print("paper's nonce chain exists to prevent.")
+
+
+if __name__ == "__main__":
+    main()

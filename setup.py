@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so `pip install -e .` works on minimal environments that lack the
+`wheel` package (PEP 660 editable installs need it; the legacy
+`setup.py develop` path does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Attack library: the §2.3 weaknesses as runnable code.
+
+Each attack implements the same scenario twice — once against the
+legacy stack of §2.2 (where the paper predicts success) and once against
+the improved intrusion-tolerant stack of §3.2 (where it must be
+blocked).  :func:`~repro.attacks.suite.run_attack_matrix` produces the
+table that `benchmarks/test_bench_attack_matrix.py` regenerates.
+
+Attacks included (paper section in brackets):
+
+* :class:`~repro.attacks.forged_denial.ForgedDenialAttack` [§2.3 ¶2] —
+  outsider forges ``connection_denied`` to lock a legitimate user out.
+* :class:`~repro.attacks.forged_removal.ForgedRemovalAttack` [§2.3 ¶3] —
+  a *member* forges ``mem_removed`` to corrupt another member's view.
+* :class:`~repro.attacks.rekey_replay.RekeyReplayAttack` [§2.3 ¶4] —
+  a *past member* replays an old ``new_key`` message to force reuse of a
+  group key it still holds, then reads group traffic.
+* :class:`~repro.attacks.admin_replay.AdminReplayAttack` — duplicate
+  delivery of a group-management message (no-duplication requirement).
+* :class:`~repro.attacks.impersonation.ImpersonationAttack` — join as A
+  without knowing P_a (proper-authentication requirement).
+* :class:`~repro.attacks.forged_close.ForgedCloseAttack` — forge A's
+  leave request to expel A (the legacy plaintext ``req_close``).
+* :class:`~repro.attacks.stale_key.StaleSessionKeyAttack` — use a leaked
+  old session key against the current session (oops-tolerance).
+"""
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.admin_replay import AdminReplayAttack
+from repro.attacks.forged_close import ForgedCloseAttack
+from repro.attacks.forged_denial import ForgedDenialAttack
+from repro.attacks.forged_removal import ForgedRemovalAttack
+from repro.attacks.impersonation import ImpersonationAttack
+from repro.attacks.rekey_replay import RekeyReplayAttack
+from repro.attacks.stale_key import StaleSessionKeyAttack
+from repro.attacks.suite import ALL_ATTACKS, MatrixRow, run_attack_matrix
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "ForgedDenialAttack",
+    "ForgedRemovalAttack",
+    "RekeyReplayAttack",
+    "AdminReplayAttack",
+    "ImpersonationAttack",
+    "ForgedCloseAttack",
+    "StaleSessionKeyAttack",
+    "ALL_ATTACKS",
+    "MatrixRow",
+    "run_attack_matrix",
+]

@@ -1,0 +1,134 @@
+"""Attack framework: scenarios, results, and the attacker's powers.
+
+The attacker here is the paper's threat model made concrete: it sees
+every frame on the wire (the :class:`~repro.enclaves.harness.SyncNetwork`
+wire log), can inject arbitrary envelopes with any claimed sender, can
+replay recorded frames, and — when the attack casts it as a compromised
+*member* — holds real credentials and a real protocol instance whose
+internal keys it may extract (a compromised participant "may be one who
+intentionally misbehaves", §3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import RekeyPolicy, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.member import MemberProtocol
+from repro.enclaves.legacy.leader import LegacyGroupLeader
+from repro.enclaves.legacy.member import LegacyMemberProtocol
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one attack run against one protocol stack."""
+
+    attack: str
+    protocol: str  # "legacy" | "itgm"
+    succeeded: bool
+    detail: str
+
+    def __str__(self) -> str:
+        verdict = "SUCCEEDED" if self.succeeded else "blocked"
+        return f"{self.attack} vs {self.protocol}: {verdict} — {self.detail}"
+
+
+@dataclass
+class LegacyScenario:
+    """A running legacy group with a deterministic seed."""
+
+    net: SyncNetwork
+    leader: LegacyGroupLeader
+    members: dict[str, LegacyMemberProtocol]
+    directory: UserDirectory
+
+
+@dataclass
+class ItgmScenario:
+    """A running improved-protocol group with a deterministic seed."""
+
+    net: SyncNetwork
+    leader: GroupLeader
+    members: dict[str, MemberProtocol]
+    directory: UserDirectory
+
+
+def build_legacy(
+    member_ids: list[str],
+    seed: int = 0,
+    rekey_policy: RekeyPolicy = RekeyPolicy.MANUAL,
+) -> LegacyScenario:
+    """Start a legacy group with every listed member joined."""
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    leader = LegacyGroupLeader(
+        "leader", directory, rekey_policy=rekey_policy,
+        rng=rng.fork("leader"),
+    )
+    wire(net, "leader", leader)
+    members: dict[str, LegacyMemberProtocol] = {}
+    for user_id in member_ids:
+        creds = directory.register_password(user_id, f"pw-{user_id}")
+        member = LegacyMemberProtocol(creds, "leader", rng.fork(user_id))
+        members[user_id] = member
+        wire(net, user_id, member)
+    for user_id in member_ids:
+        net.post(members[user_id].start_join())
+        net.run()
+    return LegacyScenario(net, leader, members, directory)
+
+
+def build_itgm(
+    member_ids: list[str],
+    seed: int = 0,
+    rekey_policy: RekeyPolicy = RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE,
+) -> ItgmScenario:
+    """Start an improved-protocol group with every listed member joined."""
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    leader = GroupLeader(
+        "leader", directory,
+        config=LeaderConfig(rekey_policy=rekey_policy),
+        rng=rng.fork("leader"),
+    )
+    wire(net, "leader", leader)
+    members: dict[str, MemberProtocol] = {}
+    for user_id in member_ids:
+        creds = directory.register_password(user_id, f"pw-{user_id}")
+        member = MemberProtocol(creds, "leader", rng.fork(user_id))
+        members[user_id] = member
+        wire(net, user_id, member)
+    for user_id in member_ids:
+        net.post(members[user_id].start_join())
+        net.run()
+    return ItgmScenario(net, leader, members, directory)
+
+
+class Attack(ABC):
+    """One named attack, runnable against both protocol stacks."""
+
+    #: Short identifier used in the matrix table.
+    name: str = "attack"
+    #: Paper reference for the weakness this attack exercises.
+    reference: str = ""
+    #: What the paper predicts against the legacy stack.
+    expected_on_legacy: bool = True
+    #: What the paper guarantees for the improved stack (always False).
+    expected_on_itgm: bool = False
+
+    @abstractmethod
+    def run_legacy(self) -> AttackResult:
+        """Run against the legacy §2.2 stack."""
+
+    @abstractmethod
+    def run_itgm(self) -> AttackResult:
+        """Run against the improved §3.2 stack."""
+
+    def run_both(self) -> tuple[AttackResult, AttackResult]:
+        return self.run_legacy(), self.run_itgm()

@@ -1,0 +1,58 @@
+"""Forged disconnect: expel a member by faking their leave request.
+
+The legacy leave request is plaintext (``A, req_close``), so anyone who
+knows a member's name can disconnect them — the same family of flaw as
+the forged denial, on the session-teardown side.  The improved ReqClose
+is ``{A, L}_{K_a}``: only the member (or the leader) can produce it.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult, build_itgm, build_legacy
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+class ForgedCloseAttack(Attack):
+    """Outsider forges alice's leave request."""
+
+    name = "forged-close"
+    reference = "§2.2 (plaintext req_close; companion of the §2.3 DoS)"
+    expected_on_legacy = True
+    expected_on_itgm = False
+
+    def __init__(self, seed: int = 6) -> None:
+        self.seed = seed
+
+    def run_legacy(self) -> AttackResult:
+        scenario = build_legacy(["alice", "bob"], seed=self.seed)
+        net, leader = scenario.net, scenario.leader
+        assert "alice" in leader.members
+
+        net.inject(Envelope(Label.REQ_CLOSE_LEGACY, "alice", "leader", b""))
+        net.run()
+
+        expelled = "alice" not in leader.members
+        return AttackResult(
+            self.name, "legacy", expelled,
+            "the leader disconnected alice on a forged plaintext req_close"
+            if expelled else "alice is still a member",
+        )
+
+    def run_itgm(self) -> AttackResult:
+        scenario = build_itgm(["alice", "bob"], seed=self.seed)
+        net, leader = scenario.net, scenario.leader
+        assert "alice" in leader.members
+
+        # Plaintext attempt and a garbage sealed-box attempt.
+        net.inject(Envelope(Label.REQ_CLOSE, "alice", "leader", b""))
+        net.inject(Envelope(Label.REQ_CLOSE, "alice", "leader", b"\x00" * 64))
+        net.run()
+
+        expelled = "alice" not in leader.members
+        return AttackResult(
+            self.name, "itgm", expelled,
+            "the leader disconnected alice on a forged close" if expelled
+            else "forged closes rejected: ReqClose must be sealed under "
+                 "alice's session key",
+        )

@@ -1,0 +1,118 @@
+"""§2.3: the forged ``connection_denied`` denial of service.
+
+    "To prevent a legitimate user A from joining the group, an attacker
+     can forge a connection_denied reply and send it to A."
+
+Against the legacy stack the attacker watches for A's plaintext
+``req_open`` and races a forged plaintext denial.  Against the improved
+stack there is *no* pre-authentication exchange to forge — the member
+ignores the alien label and completes the handshake.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import (
+    Attack,
+    AttackResult,
+    build_itgm,
+    build_legacy,
+)
+from repro.enclaves.legacy.member import LegacyMemberState
+from repro.enclaves.itgm.member import MemberState
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+class ForgedDenialAttack(Attack):
+    """Outsider forges a denial to lock a legitimate user out."""
+
+    name = "forged-denial"
+    reference = "§2.3 (pre-authentication DoS)"
+    expected_on_legacy = True
+    expected_on_itgm = False
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = seed
+
+    def run_legacy(self) -> AttackResult:
+        scenario = build_legacy(["bob"], seed=self.seed)
+        directory = scenario.directory
+        creds = directory.register_password("alice", "pw-alice")
+        from repro.crypto.rng import DeterministicRandom
+        from repro.enclaves.harness import wire
+        from repro.enclaves.legacy.member import LegacyMemberProtocol
+
+        alice = LegacyMemberProtocol(
+            creds, "leader", DeterministicRandom(self.seed).fork("alice")
+        )
+        wire(scenario.net, "alice", alice)
+
+        # The attacker intercepts alice's plaintext req_open and races a
+        # forged denial; the real req_open is dropped (the attacker owns
+        # the wire).
+        def intercept(envelope: Envelope):
+            if envelope.label is Label.REQ_OPEN and envelope.sender == "alice":
+                return [
+                    Envelope(Label.CONNECTION_DENIED, "leader", "alice", b"")
+                ]
+            return None
+
+        scenario.net.set_interceptor(intercept)
+        scenario.net.post(alice.start_join())
+        scenario.net.run()
+        scenario.net.set_interceptor(None)
+
+        locked_out = (
+            alice.state is LegacyMemberState.NOT_CONNECTED
+            and "alice" not in scenario.leader.members
+        )
+        return AttackResult(
+            self.name, "legacy", locked_out,
+            "alice accepted the forged denial and aborted her join"
+            if locked_out else "alice joined despite the forgery",
+        )
+
+    def run_itgm(self) -> AttackResult:
+        scenario = build_itgm(["bob"], seed=self.seed)
+        directory = scenario.directory
+        creds = directory.register_password("alice", "pw-alice")
+        from repro.crypto.rng import DeterministicRandom
+        from repro.enclaves.harness import wire
+        from repro.enclaves.itgm.member import MemberProtocol
+
+        alice = MemberProtocol(
+            creds, "leader", DeterministicRandom(self.seed).fork("alice")
+        )
+        wire(scenario.net, "alice", alice)
+
+        # The attacker forges the same denial the instant alice's first
+        # message hits the wire.  (It cannot *drop* AuthInitReq and
+        # claim success: dropping frames is plain packet loss, which no
+        # protocol can distinguish from a slow network — the §2.3 attack
+        # is specifically that a *forged reply* terminates the join.)
+        def intercept(envelope: Envelope):
+            if (
+                envelope.label is Label.AUTH_INIT_REQ
+                and envelope.sender == "alice"
+            ):
+                return [
+                    Envelope(Label.CONNECTION_DENIED, "leader", "alice", b""),
+                    envelope,
+                ]
+            return None
+
+        scenario.net.set_interceptor(intercept)
+        scenario.net.post(alice.start_join())
+        scenario.net.run()
+        scenario.net.set_interceptor(None)
+
+        locked_out = not (
+            alice.state is MemberState.CONNECTED
+            and "alice" in scenario.leader.members
+        )
+        return AttackResult(
+            self.name, "itgm", locked_out,
+            "alice failed to join" if locked_out
+            else "no pre-auth exchange exists; alice ignored the forged "
+                 "denial and joined",
+        )

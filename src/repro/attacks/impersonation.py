@@ -1,0 +1,85 @@
+"""Impersonation: join as A without knowing P_a.
+
+The §3.1 requirement: "If a user is accepted as group member A by the
+leader then this user is actually A."  The attacker replays A's recorded
+authentication frames from an earlier session and pads with garbage; it
+never holds P_a, so it can neither read the leader's key-distribution
+reply nor produce the session-key acknowledgment.  Both stacks block
+this (authentication was not among the legacy flaws); the attack is in
+the matrix to *witness* that claim rather than assume it.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult, build_itgm, build_legacy
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+class ImpersonationAttack(Attack):
+    """Outsider replays old auth frames to be accepted as alice."""
+
+    name = "impersonation"
+    reference = "§3.1 (proper user authentication)"
+    expected_on_legacy = False
+    expected_on_itgm = False
+
+    def __init__(self, seed: int = 5) -> None:
+        self.seed = seed
+
+    def run_legacy(self) -> AttackResult:
+        scenario = build_legacy(["alice", "bob"], seed=self.seed)
+        net, leader = scenario.net, scenario.leader
+        alice = scenario.members["alice"]
+
+        # Alice leaves; the attacker replays her whole recorded join.
+        net.post(alice.start_leave())
+        net.run()
+        assert "alice" not in leader.members
+        recorded = [
+            e for e in net.wire_log
+            if e.sender == "alice"
+            and e.label in (Label.REQ_OPEN, Label.LEGACY_AUTH_1,
+                            Label.LEGACY_AUTH_3)
+        ]
+        for envelope in recorded:
+            net.inject(envelope)
+            net.run()
+        # Garbage key-ack attempts as well.
+        net.inject(Envelope(Label.LEGACY_AUTH_3, "alice", "leader", b"\x00" * 64))
+        net.run()
+
+        accepted = "alice" in leader.members
+        return AttackResult(
+            self.name, "legacy", accepted,
+            "the leader accepted a fake alice" if accepted
+            else "replayed auth frames rejected: the attacker cannot read "
+                 "the fresh AuthKeyDist without P_a",
+        )
+
+    def run_itgm(self) -> AttackResult:
+        scenario = build_itgm(["alice", "bob"], seed=self.seed)
+        net, leader = scenario.net, scenario.leader
+        alice = scenario.members["alice"]
+
+        net.post(alice.start_leave())
+        net.run()
+        assert "alice" not in leader.members
+        recorded = [
+            e for e in net.wire_log
+            if e.sender == "alice"
+            and e.label in (Label.AUTH_INIT_REQ, Label.AUTH_ACK_KEY)
+        ]
+        for envelope in recorded:
+            net.inject(envelope)
+            net.run()
+        net.inject(Envelope(Label.AUTH_ACK_KEY, "alice", "leader", b"\x00" * 64))
+        net.run()
+
+        accepted = "alice" in leader.members
+        return AttackResult(
+            self.name, "itgm", accepted,
+            "the leader accepted a fake alice" if accepted
+            else "replays rejected: fresh N2/K_a per session; the replayed "
+                 "AuthAckKey is sealed under a dead session key",
+        )

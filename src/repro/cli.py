@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Run a scripted group session and print the annotated wire
+    transcript (join, chat, rekey, leave).
+``verify``
+    Run the §5 verification at configurable bounds and print the
+    report; exits nonzero on any violation.
+``attack-matrix``
+    Run every attack against both protocol stacks and print the table;
+    exits nonzero if any outcome deviates from the paper.
+``render``
+    Print (or write) Figures 2, 3, and 4 as Graphviz DOT or ASCII.
+``churn``
+    Run a churn simulation and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.formal.model import ModelConfig
+from repro.formal.render import render_figure2, render_figure3, render_figure4
+from repro.formal.verify import verify_protocol
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.crypto.rng import DeterministicRandom
+    from repro.enclaves.common import UserDirectory
+    from repro.enclaves.harness import SyncNetwork, wire
+    from repro.enclaves.itgm.leader import GroupLeader
+    from repro.enclaves.itgm.member import MemberProtocol
+    from repro.enclaves.tracing import KeyRing, format_transcript
+
+    rng = DeterministicRandom(args.seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    leader = GroupLeader("leader", directory, rng=rng.fork("leader"))
+    wire(net, "leader", leader)
+    members = {}
+    keys = []
+    for name in ("alice", "bob"):
+        creds = directory.register_password(name, f"{name}-pw")
+        keys.append(creds.long_term_key)
+        member = MemberProtocol(creds, "leader", rng.fork(name))
+        members[name] = member
+        wire(net, name, member)
+        net.post(member.start_join())
+        net.run()
+    net.post(members["alice"].seal_app(b"hello group"))
+    net.run()
+    net.post_all(leader.rekey_now())
+    net.run()
+    net.post(members["bob"].start_leave())
+    net.run()
+
+    # Annotate with every key the demo legitimately holds.
+    for member in members.values():
+        for attr in ("_session_key", "_group_key"):
+            key = getattr(member, attr)
+            if key is not None:
+                keys.append(key)
+    print(format_transcript(net.wire_log, KeyRing(keys),
+                            title="demo session transcript"))
+    print(f"\nfinal members: {leader.members}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    config = ModelConfig(
+        max_sessions=args.sessions,
+        max_admin=args.admin,
+        spy_budget=args.spy,
+        compromised_member=args.compromised_member,
+    )
+    report = verify_protocol(config)
+    print(report.summary())
+    if args.walks:
+        from repro.formal.model import EnclavesModel
+        from repro.formal.walker import RandomWalker
+
+        walk_config = ModelConfig(
+            max_sessions=50, max_admin=100, spy_budget=10,
+            compromised_member=args.compromised_member,
+        )
+        result = RandomWalker(
+            EnclavesModel(walk_config), seed=args.seed
+        ).run(walks=args.walks, max_steps=200)
+        status = "ok" if result.ok else "VIOLATION"
+        print(f"random walks: {result.walks} walks, "
+              f"{result.steps_taken} steps, {status}")
+        if not result.ok:
+            print(result.violations[0])
+            return 1
+    return 0 if report.ok else 1
+
+
+def _cmd_attack_matrix(args: argparse.Namespace) -> int:
+    from repro.attacks import run_attack_matrix
+    from repro.attacks.suite import format_matrix
+
+    rows = run_attack_matrix(seed=args.seed)
+    print(format_matrix(rows))
+    deviations = [row for row in rows if not row.as_expected]
+    if deviations:
+        print(f"\n{len(deviations)} deviation(s) from the paper!")
+        return 1
+    print("\nall outcomes match the paper's predictions")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    renderers = {
+        "2": render_figure2, "3": render_figure3, "4": render_figure4,
+    }
+    figures = list(args.figures) if args.figures else ["2", "3", "4"]
+    chunks = []
+    for figure in figures:
+        if figure not in renderers:
+            print(f"unknown figure {figure!r} (choose from 2, 3, 4)",
+                  file=sys.stderr)
+            return 2
+        chunks.append(renderers[figure](args.format))
+    output = "\n\n".join(chunks)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(output + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.enclaves.common import RekeyPolicy
+    from repro.sim.scenarios import ChurnScenario, run_churn
+
+    policies = {
+        "membership": RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE,
+        "on-leave": RekeyPolicy.ON_LEAVE,
+        "periodic": RekeyPolicy.PERIODIC,
+        "manual": RekeyPolicy.MANUAL,
+    }
+    report = run_churn(
+        ChurnScenario(
+            n_users=args.users,
+            duration=args.duration,
+            rekey_policy=policies[args.policy],
+            seed=args.seed,
+        )
+    )
+    print(report.summary())
+    return 0 if report.views_consistent else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the whole reproduction as one markdown report."""
+    from repro.attacks import run_attack_matrix
+    from repro.attacks.suite import format_matrix
+    from repro.formal.explorer import Explorer
+    from repro.formal.legacy_model import (
+        LEGACY_CHECKS,
+        LegacyConfig,
+        LegacyEnclavesModel,
+    )
+    from repro.sim.latency import run_latency_study
+    from repro.sim.netmodel import FixedDelay
+
+    lines = ["# Reproduction report", ""]
+    ok = True
+
+    lines += ["## §5 verification (improved protocol)", "", "```"]
+    for config in [
+        ModelConfig(max_sessions=1, max_admin=2, spy_budget=1),
+        ModelConfig(max_sessions=1, max_admin=1, spy_budget=1,
+                    compromised_member=True),
+    ]:
+        report = verify_protocol(config)
+        ok = ok and report.ok
+        lines.append(report.summary())
+        lines.append("")
+    lines += ["```", ""]
+
+    lines += ["## §2.3 attack matrix", "", "```"]
+    rows = run_attack_matrix(seed=args.seed)
+    ok = ok and all(row.as_expected for row in rows)
+    lines += [format_matrix(rows), "```", ""]
+
+    lines += ["## Automatic flaw discovery (legacy symbolic model)", "",
+              "```"]
+    for name, check in sorted(LEGACY_CHECKS.items()):
+        result = Explorer(
+            LegacyEnclavesModel(LegacyConfig(max_sessions=2, max_rekeys=2)),
+            checks={name: check}, stop_on_first=True,
+        ).run()
+        found = "FOUND" if not result.ok else "NOT FOUND (unexpected!)"
+        ok = ok and not result.ok
+        lines.append(
+            f"{name:<24} counterexample {found} "
+            f"after {result.states_explored} states"
+        )
+    lines += ["```", ""]
+
+    lines += ["## Latency structure (fixed 10 ms one-way delay)", "", "```"]
+    study = run_latency_study(n_members=3, delay_model=FixedDelay(0.01),
+                              n_admin_rounds=2)
+    lines.append(f"join -> connected : {study.join_to_connected.mean*1000:.1f} ms"
+                 "  (2 hops expected: 20.0 ms)")
+    lines.append(f"join -> group key : {study.join_to_group_key.mean*1000:.1f} ms"
+                 "  (6 hops expected: 60.0 ms)")
+    lines.append(f"admin delivery    : {study.admin_round_trip.mean*1000:.1f} ms"
+                 "  (1 hop expected: 10.0 ms)")
+    lines += ["```", ""]
+
+    lines += ["## Figures", "", "```",
+              render_figure4("ascii"), "```", ""]
+    verdict = "ALL ARTIFACTS REPRODUCED" if ok else "DEVIATIONS FOUND"
+    lines += [f"**{verdict}**", ""]
+
+    output = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(output)
+        print(f"wrote {args.out} ({verdict})")
+    else:
+        print(output)
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Intrusion-Tolerant Group Management in Enclaves "
+                    "(DSN 2001) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="scripted session with transcript")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    verify = sub.add_parser("verify", help="run the §5 verification")
+    verify.add_argument("--sessions", type=int, default=1)
+    verify.add_argument("--admin", type=int, default=2)
+    verify.add_argument("--spy", type=int, default=1)
+    verify.add_argument("--compromised-member", action="store_true")
+    verify.add_argument("--walks", type=int, default=0,
+                        help="additionally run N deep random walks")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(func=_cmd_verify)
+
+    matrix = sub.add_parser("attack-matrix", help="run the §2.3 attacks")
+    matrix.add_argument("--seed", type=int, default=0)
+    matrix.set_defaults(func=_cmd_attack_matrix)
+
+    render = sub.add_parser("render", help="emit Figures 2/3/4")
+    render.add_argument("figures", nargs="*", help="figure numbers (2 3 4)")
+    render.add_argument("--format", choices=("dot", "ascii"),
+                        default="ascii")
+    render.add_argument("--out", help="write to a file instead of stdout")
+    render.set_defaults(func=_cmd_render)
+
+    churn = sub.add_parser("churn", help="run a churn simulation")
+    churn.add_argument("--users", type=int, default=8)
+    churn.add_argument("--duration", type=float, default=60.0)
+    churn.add_argument("--policy", default="membership",
+                       choices=("membership", "on-leave", "periodic",
+                                "manual"))
+    churn.add_argument("--seed", type=int, default=0)
+    churn.set_defaults(func=_cmd_churn)
+
+    report = sub.add_parser(
+        "report", help="regenerate the whole reproduction as one report"
+    )
+    report.add_argument("--out", help="write markdown to a file")
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): exit quietly.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

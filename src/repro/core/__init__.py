@@ -1,0 +1,11 @@
+"""The paper's primary contribution, under its conventional name.
+
+The intrusion-tolerant group-management protocol is implemented in
+:mod:`repro.enclaves.itgm` (named for what it is, next to the legacy
+baseline it replaces).  ``repro.core`` re-exports the same public
+surface so the conventional layout — ``from repro.core import
+GroupLeader`` — works too.
+"""
+
+from repro.enclaves.itgm import *  # noqa: F401,F403
+from repro.enclaves.itgm import __all__  # noqa: F401

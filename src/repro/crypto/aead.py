@@ -1,0 +1,95 @@
+"""Authenticated encryption: encrypt-then-MAC over AES-CTR.
+
+The paper writes ``{X}_K`` for "X encrypted under K" and assumes the
+attacker "cannot break the encryption primitives" — i.e., an ideal
+authenticated cipher: ciphertexts reveal nothing and cannot be created or
+altered without the key.  Plain CBC (as in the original Enclaves) does
+not give the second half of that; we therefore realize ``{X}_K`` as
+AES-128-CTR followed by HMAC-SHA256 over (header || nonce || ciphertext),
+with independent subkeys derived from K.
+
+:class:`SealedBox` is the concrete wire representation of ``{X}_K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES
+from repro.crypto.keys import KeyMaterial
+from repro.crypto.mac import hmac_sha256
+from repro.crypto.modes import ctr_transform
+from repro.crypto.rng import RandomSource, SystemRandom
+from repro.exceptions import CodecError, IntegrityError
+
+TAG_LEN = 32
+CTR_NONCE_LEN = 8
+
+
+@dataclass(frozen=True, slots=True)
+class SealedBox:
+    """The wire form of ``{X}_K``: CTR nonce, ciphertext, and MAC tag."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize as nonce || tag || ciphertext."""
+        return self.nonce + self.tag + self.ciphertext
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SealedBox":
+        if len(data) < CTR_NONCE_LEN + TAG_LEN:
+            raise CodecError("sealed box too short")
+        nonce = data[:CTR_NONCE_LEN]
+        tag = data[CTR_NONCE_LEN:CTR_NONCE_LEN + TAG_LEN]
+        ciphertext = data[CTR_NONCE_LEN + TAG_LEN:]
+        return cls(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+    def __len__(self) -> int:
+        return CTR_NONCE_LEN + TAG_LEN + len(self.ciphertext)
+
+
+class AuthenticatedCipher:
+    """Encrypt-then-MAC AEAD bound to one :class:`KeyMaterial`.
+
+    ``associated_data`` is authenticated but not encrypted; protocol code
+    passes the message label and the (sender, recipient) pair so a valid
+    ciphertext cannot be replayed under a different header.
+
+    >>> from repro.crypto.keys import SessionKey
+    >>> box = AuthenticatedCipher(SessionKey(bytes(32))).seal(b"hello")
+    >>> AuthenticatedCipher(SessionKey(bytes(32))).open(box)
+    b'hello'
+    """
+
+    def __init__(self, key: KeyMaterial, rng: RandomSource | None = None) -> None:
+        enc_key, mac_key = key.subkeys()
+        self._aes = AES(enc_key)
+        self._mac_key = mac_key
+        self._rng = rng if rng is not None else SystemRandom()
+
+    def seal(self, plaintext: bytes, associated_data: bytes = b"") -> SealedBox:
+        """Encrypt and authenticate ``plaintext``."""
+        nonce = self._rng.random_bytes(CTR_NONCE_LEN)
+        ciphertext = ctr_transform(self._aes, nonce, plaintext)
+        tag = self._compute_tag(nonce, ciphertext, associated_data)
+        return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+    def open(self, box: SealedBox, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt, raising :class:`IntegrityError` on forgery."""
+        expected = self._compute_tag(box.nonce, box.ciphertext, associated_data)
+        from repro.util.bytesops import constant_time_eq
+
+        if not constant_time_eq(expected, box.tag):
+            raise IntegrityError("MAC verification failed")
+        return ctr_transform(self._aes, box.nonce, box.ciphertext)
+
+    def _compute_tag(
+        self, nonce: bytes, ciphertext: bytes, associated_data: bytes
+    ) -> bytes:
+        # Unambiguous framing: length-prefix the associated data so that
+        # (ad, ct) pairs cannot collide across a boundary shift.
+        header = len(associated_data).to_bytes(4, "big") + associated_data
+        return hmac_sha256(self._mac_key, header + nonce + ciphertext)

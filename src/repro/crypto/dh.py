@@ -1,0 +1,109 @@
+"""Finite-field Diffie-Hellman, from scratch.
+
+The paper's §2.2 footnote: "Authentication using public-key cryptography
+is also possible, but is not currently implemented."  This module
+implements that option in the least invasive way: a **static-static DH
+key agreement** that provisions the long-term key ``P_a``.  Instead of
+the leader knowing every user's password, the leader knows every user's
+static public key (and the users know the leader's); both sides derive
+
+    P_a = KDF( DH(user_static, leader_static) , "A" || "L" )
+
+and then run the *unchanged* improved protocol of §3.2.  All the §5
+proofs apply verbatim, because they only assume P_a is a symmetric key
+initially known exactly to A and L — which static-static DH provides
+under the computational DH assumption.
+
+The group is the 2048-bit MODP group from RFC 3526 §3 (group 14), with
+generator 2.  Private keys are 256-bit random exponents (giving ~128-bit
+security against Pollard-rho in this group).  Public keys are validated
+to be in (1, p-1) and not of small order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import hkdf_expand, hkdf_extract
+from repro.crypto.keys import KEY_LEN, LongTermKey
+from repro.crypto.rng import RandomSource, SystemRandom
+from repro.exceptions import CryptoError
+
+# RFC 3526, 2048-bit MODP Group (id 14).
+MODP_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_2048_G = 2
+
+#: Private exponents are 256 bits: enough for ~128-bit security here.
+PRIVATE_KEY_BITS = 256
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    """A static DH key pair (private exponent, public value)."""
+
+    private: int
+    public: int
+
+    def __repr__(self) -> str:  # never print the private exponent
+        return f"DHKeyPair(public={hex(self.public)[:18]}…)"
+
+
+def generate_keypair(rng: RandomSource | None = None) -> DHKeyPair:
+    """Generate a static key pair: x random, y = g^x mod p."""
+    rng = rng if rng is not None else SystemRandom()
+    while True:
+        x = int.from_bytes(rng.random_bytes(PRIVATE_KEY_BITS // 8), "big")
+        if 2 <= x < MODP_2048_P - 2:
+            break
+    return DHKeyPair(private=x, public=pow(MODP_2048_G, x, MODP_2048_P))
+
+
+def validate_public_key(public: int) -> None:
+    """Reject out-of-range and small-subgroup public values.
+
+    For a safe-prime group the only small-order elements are 1 and p-1;
+    excluding them (and out-of-range values) is the standard check.
+    """
+    if not 2 <= public <= MODP_2048_P - 2:
+        raise CryptoError("DH public key out of range")
+
+
+def shared_secret(own: DHKeyPair, peer_public: int) -> bytes:
+    """Raw DH shared secret (fixed-width big-endian encoding)."""
+    validate_public_key(peer_public)
+    z = pow(peer_public, own.private, MODP_2048_P)
+    if z in (1, MODP_2048_P - 1):
+        raise CryptoError("degenerate DH shared secret")
+    return z.to_bytes((MODP_2048_P.bit_length() + 7) // 8, "big")
+
+
+def derive_pairwise_long_term_key(
+    own: DHKeyPair,
+    peer_public: int,
+    user_id: str,
+    leader_id: str,
+) -> LongTermKey:
+    """Derive ``P_a`` from the static-static DH secret.
+
+    Both sides must pass the same (user_id, leader_id) pair — the user
+    and the *group leader's* identity — so the key is bound to the
+    relationship, not just the raw secret.  The result is an ordinary
+    :class:`LongTermKey`: the §3.2 protocol runs on it unchanged.
+    """
+    secret = shared_secret(own, peer_public)
+    prk = hkdf_extract(b"repro-enclaves-dh-pa", secret)
+    info = b"pa|" + user_id.encode() + b"|" + leader_id.encode()
+    return LongTermKey(hkdf_expand(prk, info, KEY_LEN))

@@ -1,0 +1,76 @@
+"""Key derivation.
+
+The paper assumes each user has "a long-term password that must be known
+in advance to the group leader", and a key ``P_a`` *derived from A's
+password*.  We derive it with PBKDF2-HMAC-SHA256 (RFC 2898 / RFC 8018),
+implemented from scratch and checked against the RFC 6070-style published
+vectors for SHA-256.
+
+``hkdf_expand`` provides labeled subkey derivation so one secret can
+yield independent encryption and MAC keys for encrypt-then-MAC.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.mac import HMACSHA256, hmac_sha256
+
+
+def pbkdf2_hmac_sha256(
+    password: bytes,
+    salt: bytes,
+    iterations: int,
+    dk_len: int = 32,
+) -> bytes:
+    """PBKDF2 with HMAC-SHA256 as the PRF."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if dk_len < 1:
+        raise ValueError("dk_len must be >= 1")
+    n_blocks = (dk_len + 31) // 32
+    derived = bytearray()
+    for block_index in range(1, n_blocks + 1):
+        u = hmac_sha256(password, salt + struct.pack(">I", block_index))
+        t = bytearray(u)
+        for _ in range(iterations - 1):
+            u = hmac_sha256(password, u)
+            for j in range(32):
+                t[j] ^= u[j]
+        derived += t
+    return bytes(derived[:dk_len])
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract (RFC 5869) with HMAC-SHA256."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand (RFC 5869) with HMAC-SHA256."""
+    if length > 255 * 32:
+        raise ValueError("HKDF-Expand length too large")
+    okm = bytearray()
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        mac = HMACSHA256(prk)
+        mac.update(block + info + bytes([counter]))
+        block = mac.digest()
+        okm += block
+        counter += 1
+    return bytes(okm[:length])
+
+
+def derive_subkeys(secret: bytes, label: bytes) -> tuple[bytes, bytes]:
+    """Derive independent (encryption, MAC) subkeys from one secret.
+
+    Protocol code never uses a raw key directly for both encryption and
+    authentication; this split is what makes encrypt-then-MAC sound.
+    """
+    prk = hkdf_extract(b"repro-enclaves-v1", secret)
+    enc_key = hkdf_expand(prk, label + b"|enc", 16)
+    mac_key = hkdf_expand(prk, label + b"|mac", 32)
+    return enc_key, mac_key

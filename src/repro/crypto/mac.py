@@ -1,0 +1,54 @@
+"""HMAC (RFC 2104) over the from-scratch SHA-256.
+
+Only HMAC-SHA256 is provided because it is the only MAC the protocol
+stack needs.  Verified against the RFC 4231 test vectors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import SHA256, sha256
+from repro.util.bytesops import constant_time_eq
+
+_BLOCK_SIZE = 64
+_IPAD = bytes([0x36] * _BLOCK_SIZE)
+_OPAD = bytes([0x5C] * _BLOCK_SIZE)
+
+
+class HMACSHA256:
+    """Incremental HMAC-SHA256."""
+
+    digest_size = 32
+
+    def __init__(self, key: bytes, data: bytes = b"") -> None:
+        if len(key) > _BLOCK_SIZE:
+            key = sha256(key)
+        key = key.ljust(_BLOCK_SIZE, b"\x00")
+        self._inner = SHA256(bytes(k ^ p for k, p in zip(key, _IPAD)))
+        self._outer_key = bytes(k ^ p for k, p in zip(key, _OPAD))
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        self._inner.update(data)
+
+    def copy(self) -> "HMACSHA256":
+        clone = HMACSHA256.__new__(HMACSHA256)
+        clone._inner = self._inner.copy()
+        clone._outer_key = self._outer_key
+        return clone
+
+    def digest(self) -> bytes:
+        return sha256(self._outer_key + self._inner.digest())
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """One-shot HMAC-SHA256 of ``data`` under ``key``."""
+    return HMACSHA256(key, data).digest()
+
+
+def verify_hmac_sha256(key: bytes, data: bytes, tag: bytes) -> bool:
+    """Constant-time verification of an HMAC-SHA256 tag."""
+    return constant_time_eq(hmac_sha256(key, data), tag)

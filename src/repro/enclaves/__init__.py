@@ -1,0 +1,32 @@
+"""Enclaves protocol stacks.
+
+Two complete stacks are provided:
+
+* :mod:`repro.enclaves.legacy` — the **original** Enclaves protocols of
+  paper §2.2, implemented faithfully *including their flaws* (plaintext
+  pre-authentication, group key inside the auth exchange, replayable
+  rekeying, member-forgeable membership notices).  This is the baseline
+  that the attack library breaks.
+* :mod:`repro.enclaves.itgm` — the paper's contribution (§3.2): the
+  **intrusion-tolerant group management** protocol with nonce-chained,
+  leader-authenticated admin delivery.
+
+Both stacks are sans-IO state machines driven by small asyncio runtimes,
+so they run identically over the in-memory adversarial network and TCP.
+"""
+
+from repro.enclaves.common import (
+    AccessPolicy,
+    Credentials,
+    RekeyPolicy,
+    UserDirectory,
+    allow_all,
+)
+
+__all__ = [
+    "Credentials",
+    "UserDirectory",
+    "AccessPolicy",
+    "RekeyPolicy",
+    "allow_all",
+]

@@ -1,0 +1,69 @@
+"""The intrusion-tolerant group-management protocol (paper §3.2).
+
+This package is the paper's primary contribution, realized as:
+
+* :mod:`~repro.enclaves.itgm.admin` — the typed group-management payloads
+  (the ``X`` field of AdminMsg): new group key, member joined/left,
+  membership view.
+* :mod:`~repro.enclaves.itgm.member` — the user state machine of Figure 2
+  (NotConnected / WaitingForKey / Connected) as a sans-IO protocol core.
+* :mod:`~repro.enclaves.itgm.leader_session` — the leader's per-user
+  state machine of Figure 3 (NotConnected / WaitingForKeyAck /
+  Connected / WaitingForAck).
+* :mod:`~repro.enclaves.itgm.leader` — the full group leader: user
+  directory, access policy, membership tracking, rekey policy, per-member
+  stop-and-wait admin outboxes, and application-data relay.
+* :mod:`~repro.enclaves.itgm.client` / :mod:`~repro.enclaves.itgm.runtime`
+  — asyncio drivers wiring the sans-IO cores to any transport.
+
+Security guarantees (proved in the paper, machine-checked in
+:mod:`repro.formal`, and exercised at the bytes level by
+:mod:`repro.attacks`): provided the member and leader are not compromised,
+every admin payload a member accepts was sent by the leader, in order,
+without duplication — no matter how many other participants are
+compromised, and even if old session keys leak.
+"""
+
+from repro.enclaves.itgm.admin import (
+    AdminPayload,
+    MemberJoinedPayload,
+    MemberLeftPayload,
+    MembershipPayload,
+    NewGroupKeyPayload,
+    TextPayload,
+)
+from repro.enclaves.itgm.client import MemberClient
+from repro.enclaves.itgm.failover import ManagerSet, ResilientMember
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.enclaves.itgm.persistence import (
+    open_snapshot,
+    restore_leader,
+    seal_snapshot,
+    snapshot_leader,
+)
+from repro.enclaves.itgm.runtime import LeaderRuntime
+
+__all__ = [
+    "AdminPayload",
+    "NewGroupKeyPayload",
+    "MemberJoinedPayload",
+    "MemberLeftPayload",
+    "MembershipPayload",
+    "TextPayload",
+    "MemberProtocol",
+    "MemberState",
+    "LeaderSession",
+    "LeaderState",
+    "GroupLeader",
+    "LeaderConfig",
+    "MemberClient",
+    "LeaderRuntime",
+    "ManagerSet",
+    "ResilientMember",
+    "snapshot_leader",
+    "restore_leader",
+    "seal_snapshot",
+    "open_snapshot",
+]

@@ -1,0 +1,144 @@
+"""Group-management payloads: the ``X`` field of AdminMsg.
+
+The paper (§3.2): "The field X is the actual group-management message.
+For example, X may specify a new group key and initialization vector, or
+indicate that a member has joined or left the session."
+
+Each payload type has an injective binary encoding; :func:`decode_payload`
+is the total inverse.  Payload bytes travel *inside* the AdminMsg sealed
+box, so they inherit its authenticity, ordering, and freshness — none of
+the payload types needs its own nonce or signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KEY_LEN, GroupKey
+from repro.exceptions import CodecError
+from repro.wire.codec import (
+    decode_fields,
+    decode_str,
+    decode_str_list,
+    encode_fields,
+    encode_str,
+    encode_str_list,
+)
+
+_TAG_NEW_KEY = 0x01
+_TAG_JOINED = 0x02
+_TAG_LEFT = 0x03
+_TAG_MEMBERSHIP = 0x04
+_TAG_TEXT = 0x05
+
+
+@dataclass(frozen=True)
+class AdminPayload:
+    """Base class for group-management payloads."""
+
+    def encode(self) -> bytes:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NewGroupKeyPayload(AdminPayload):
+    """Distribute a new group key K_g' (replaces §2.2's ``new_key``).
+
+    ``eviction`` marks rotations that cryptographically evict someone
+    (a leave or expulsion): receivers must then drop their previous-
+    epoch cipher immediately, closing the rekey grace window — an
+    ex-member's old key must not be honored for even one more frame.
+    Benign rotations (join, periodic, manual) keep the grace window so
+    in-flight traffic survives the rotation.
+    """
+
+    key: GroupKey
+    epoch: int
+    eviction: bool = False
+
+    def encode(self) -> bytes:
+        return encode_fields(
+            [bytes([_TAG_NEW_KEY]), self.key.material,
+             self.epoch.to_bytes(8, "big"),
+             bytes([1 if self.eviction else 0])]
+        )
+
+
+@dataclass(frozen=True)
+class MemberJoinedPayload(AdminPayload):
+    """Announce that a user joined (authenticated replacement for the
+    legacy plaintext notification)."""
+
+    user_id: str
+
+    def encode(self) -> bytes:
+        return encode_fields([bytes([_TAG_JOINED]), encode_str(self.user_id)])
+
+
+@dataclass(frozen=True)
+class MemberLeftPayload(AdminPayload):
+    """Announce that a user left (replaces the forgeable ``mem_removed``)."""
+
+    user_id: str
+
+    def encode(self) -> bytes:
+        return encode_fields([bytes([_TAG_LEFT]), encode_str(self.user_id)])
+
+
+@dataclass(frozen=True)
+class MembershipPayload(AdminPayload):
+    """Full membership view sent to a newly joined member."""
+
+    members: tuple[str, ...]
+
+    def encode(self) -> bytes:
+        return encode_fields(
+            [bytes([_TAG_MEMBERSHIP]), encode_str_list(list(self.members))]
+        )
+
+
+@dataclass(frozen=True)
+class TextPayload(AdminPayload):
+    """Free-form admin text (used by tests and ablation benchmarks)."""
+
+    text: str
+
+    def encode(self) -> bytes:
+        return encode_fields([bytes([_TAG_TEXT]), encode_str(self.text)])
+
+
+def decode_payload(data: bytes) -> AdminPayload:
+    """Decode any admin payload, raising :class:`CodecError` if malformed."""
+    fields = decode_fields(data)
+    if not fields or len(fields[0]) != 1:
+        raise CodecError("admin payload missing tag")
+    tag = fields[0][0]
+    if tag == _TAG_NEW_KEY:
+        if (
+            len(fields) != 4 or len(fields[1]) != KEY_LEN
+            or len(fields[2]) != 8 or len(fields[3]) != 1
+            or fields[3][0] not in (0, 1)
+        ):
+            raise CodecError("malformed NewGroupKeyPayload")
+        return NewGroupKeyPayload(
+            key=GroupKey(fields[1]),
+            epoch=int.from_bytes(fields[2], "big"),
+            eviction=bool(fields[3][0]),
+        )
+    if tag == _TAG_JOINED:
+        if len(fields) != 2:
+            raise CodecError("malformed MemberJoinedPayload")
+        return MemberJoinedPayload(user_id=decode_str(fields[1]))
+    if tag == _TAG_LEFT:
+        if len(fields) != 2:
+            raise CodecError("malformed MemberLeftPayload")
+        return MemberLeftPayload(user_id=decode_str(fields[1]))
+    if tag == _TAG_MEMBERSHIP:
+        if len(fields) != 2:
+            raise CodecError("malformed MembershipPayload")
+        return MembershipPayload(members=tuple(decode_str_list(fields[1])))
+    if tag == _TAG_TEXT:
+        if len(fields) != 2:
+            raise CodecError("malformed TextPayload")
+        return TextPayload(text=decode_str(fields[1]))
+    raise CodecError(f"unknown admin payload tag {tag:#x}")

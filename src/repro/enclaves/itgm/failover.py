@@ -1,0 +1,254 @@
+"""Standby group managers and failover (the paper's future work, scoped).
+
+    "The main limit of the current Enclaves architecture is its reliance
+     on a central group leader.  In future work, we intend to develop a
+     more robust and scalable version of the system where the single
+     leader is replaced by a distributed set of group managers." — §7
+
+This module implements the crash-recovery slice of that programme: a
+**set of group managers** sharing the user registry, one of which is
+primary at any time.  When the primary fails, a standby takes over and
+members re-authenticate to it with the *unchanged* §3.2 protocol —
+fresh session keys, fresh group key, rebuilt membership.
+
+What this preserves and what it does not:
+
+* **Safety is untouched.**  Every §5 property is per (user, leader)
+  session; a failover just ends sessions (exactly like a crash) and
+  starts new ones against a different honest leader.  No protocol
+  message ever crosses managers, so no new attack surface opens —
+  which is why the proofs carry over verbatim.
+* **Availability improves**: the group survives the loss of any
+  minority of managers (members rejoin the next standby).
+* **Not Byzantine**: managers are crash-faulty only.  A *compromised*
+  manager is outside this design, as it is outside the paper's (the
+  leader must be trusted — §6 points to Rampart/SecureRing for more).
+
+Long-term keys work across managers out of the box in both provisioning
+modes: password-derived ``P_a`` is leader-independent, and DH
+provisioning (:mod:`repro.enclaves.pubkey`) derives one ``P_a`` per
+(user, manager) pair — :class:`ManagerSet` handles either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import DeterministicRandom, RandomSource, SystemRandom
+from repro.enclaves.common import Credentials, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.exceptions import StateError
+from repro.wire.message import Envelope
+
+
+@dataclass
+class ManagerSet:
+    """A fixed set of group managers, one primary at a time.
+
+    Managers share one :class:`UserDirectory` (the user registry is
+    replicated out of band — an enrollment concern, not a protocol
+    one).  Each manager is an ordinary :class:`GroupLeader` under its
+    own identity (``mgr-0``, ``mgr-1``, ...).
+    """
+
+    directory: UserDirectory
+    managers: dict[str, GroupLeader] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    primary_index: int = 0
+    failed: set[str] = field(default_factory=set)
+
+    @classmethod
+    def create(
+        cls,
+        n_managers: int,
+        directory: UserDirectory,
+        config: LeaderConfig | None = None,
+        rng: RandomSource | None = None,
+    ) -> "ManagerSet":
+        rng = rng if rng is not None else SystemRandom()
+        ms = cls(directory=directory)
+        for i in range(n_managers):
+            manager_id = f"mgr-{i}"
+            fork = (
+                rng.fork(manager_id)
+                if isinstance(rng, DeterministicRandom)
+                else rng
+            )
+            ms.managers[manager_id] = GroupLeader(
+                manager_id, directory,
+                config=config or LeaderConfig(), rng=fork,
+            )
+            ms.order.append(manager_id)
+        return ms
+
+    @property
+    def primary_id(self) -> str:
+        return self.order[self.primary_index]
+
+    @property
+    def primary(self) -> GroupLeader:
+        return self.managers[self.primary_id]
+
+    @property
+    def alive_ids(self) -> list[str]:
+        return [m for m in self.order if m not in self.failed]
+
+    def fail_primary(self) -> str:
+        """Crash the current primary and promote the next live standby.
+
+        Returns the new primary's identity.  Raises
+        :class:`StateError` when no standby remains.
+        """
+        self.failed.add(self.primary_id)
+        for index in range(len(self.order)):
+            candidate = self.order[(self.primary_index + 1 + index)
+                                   % len(self.order)]
+            if candidate not in self.failed:
+                self.primary_index = self.order.index(candidate)
+                return candidate
+        raise StateError("all group managers have failed")
+
+    def recover(self, manager_id: str) -> None:
+        """Bring a crashed manager back as a cold standby.
+
+        Its in-memory group state is gone (crash-recovery model); it is
+        re-created fresh around the shared directory.
+        """
+        if manager_id not in self.managers:
+            raise StateError(f"unknown manager {manager_id!r}")
+        old = self.managers[manager_id]
+        self.managers[manager_id] = GroupLeader(
+            manager_id, self.directory, config=old.config, rng=old._rng,
+        )
+        self.failed.discard(manager_id)
+
+
+class ResilientMember:
+    """A member that follows the primary across failovers.
+
+    Owns one :class:`MemberProtocol` per epoch of leadership; on
+    :meth:`follow` it abandons the old session (the crashed manager's
+    keys are gone anyway) and re-authenticates to the new primary.
+    The inner protocol is rebuilt because ``P_a`` may be
+    manager-specific (DH provisioning).
+    """
+
+    def __init__(
+        self,
+        credentials_for: "dict[str, Credentials]",
+        net: SyncNetwork,
+        address: str,
+        rng: RandomSource | None = None,
+    ) -> None:
+        """``credentials_for`` maps manager id -> this user's credentials
+        toward that manager.  With password provisioning all entries are
+        identical; with DH provisioning they differ per manager."""
+        self._credentials_for = credentials_for
+        self._net = net
+        self._address = address
+        self._rng = rng if rng is not None else SystemRandom()
+        self._epoch = 0
+        self.protocol: MemberProtocol | None = None
+        self._registered = False
+
+    @property
+    def user_id(self) -> str:
+        return next(iter(self._credentials_for.values())).user_id
+
+    @property
+    def connected(self) -> bool:
+        return (
+            self.protocol is not None
+            and self.protocol.state is MemberState.CONNECTED
+        )
+
+    def follow(self, manager_id: str) -> Envelope:
+        """(Re)bind to ``manager_id`` and produce the join request."""
+        creds = self._credentials_for.get(manager_id)
+        if creds is None:
+            raise StateError(f"no credentials for manager {manager_id!r}")
+        self._epoch += 1
+        fork = (
+            self._rng.fork(f"epoch-{self._epoch}")
+            if isinstance(self._rng, DeterministicRandom)
+            else self._rng
+        )
+        self.protocol = MemberProtocol(creds, manager_id, fork)
+        if not self._registered:
+            self._registered = True
+            wire(self._net, self._address, self)
+        return self.protocol.start_join()
+
+    def handle(self, envelope: Envelope):
+        """Route to the current-epoch protocol; stale-epoch frames (from
+        a dead manager) fall through to it too and are rejected by its
+        crypto checks, which is exactly the desired behaviour."""
+        if self.protocol is None:
+            return [], []
+        return self.protocol.handle(envelope)
+
+
+def run_failover_drill(
+    n_managers: int = 3,
+    member_ids: tuple[str, ...] = ("alice", "bob"),
+    seed: int = 0,
+) -> dict:
+    """A complete scripted drill, used by tests and the example:
+
+    join all members at mgr-0 → exchange traffic → crash mgr-0 →
+    promote mgr-1 → everyone rejoins → exchange traffic again.
+    Returns a report dict with the observable outcomes.
+    """
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    creds = {
+        uid: directory.register_password(uid, f"pw-{uid}")
+        for uid in member_ids
+    }
+    managers = ManagerSet.create(n_managers, directory, rng=rng.fork("mgrs"))
+    for manager_id, manager in managers.managers.items():
+        wire(net, manager_id, manager)
+
+    members = {
+        uid: ResilientMember(
+            # Password provisioning: same credentials toward every manager.
+            {m: creds[uid] for m in managers.order},
+            net, uid, rng.fork(uid),
+        )
+        for uid in member_ids
+    }
+    for member in members.values():
+        net.post(member.follow(managers.primary_id))
+        net.run()
+    before = {
+        "primary": managers.primary_id,
+        "members": list(managers.primary.members),
+    }
+
+    # Crash and promote.
+    dead = managers.primary_id
+    new_primary = managers.fail_primary()
+    for member in members.values():
+        net.post(member.follow(new_primary))
+        net.run()
+    after = {
+        "primary": new_primary,
+        "members": list(managers.primary.members),
+        "dead": dead,
+    }
+
+    # Traffic on the new primary proves the group is live again.
+    first = members[member_ids[0]]
+    assert first.protocol is not None
+    net.post(first.protocol.seal_app(b"we survived"))
+    net.run()
+    from repro.enclaves.common import AppMessage
+
+    received = {
+        uid: [e.payload for e in net.events_of(uid, AppMessage)]
+        for uid in member_ids[1:]
+    }
+    return {"before": before, "after": after, "received": received}

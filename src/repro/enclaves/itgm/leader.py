@@ -1,0 +1,407 @@
+"""The group leader: membership, rekeying, admin distribution, relay.
+
+This composes one :class:`~repro.enclaves.itgm.leader_session.LeaderSession`
+per registered user (the paper models the leader exactly this way) and
+adds the group-level behaviour of Figures 1-3:
+
+* **Membership**: a user is a member from the moment their AuthAckKey is
+  accepted until their ReqClose is processed.
+* **Group key**: "the group leader generates a first group key K_g when
+  the first member is accepted"; rotation follows a
+  :class:`~repro.enclaves.common.RekeyPolicy`.
+* **Admin distribution**: every group-management payload travels in the
+  nonce-chained AdminMsg/Ack channel.  The channel is stop-and-wait per
+  member, so the leader keeps a FIFO outbox per member and sends the next
+  payload only when the previous one is acknowledged.
+* **Relay** (Figure 1): application frames sealed under K_g are verified
+  and relayed to every other current member.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import AuthenticatedCipher, SealedBox
+from repro.crypto.keys import KEY_LEN, GroupKey
+from repro.crypto.rng import RandomSource, SystemRandom
+from repro.enclaves.common import (
+    AccessPolicy,
+    Denied,
+    Event,
+    Joined,
+    Left,
+    Rejected,
+    RekeyPolicy,
+    UserDirectory,
+    allow_all,
+)
+from repro.enclaves.itgm.admin import (
+    AdminPayload,
+    MemberJoinedPayload,
+    MemberLeftPayload,
+    MembershipPayload,
+    NewGroupKeyPayload,
+)
+from repro.enclaves.itgm.leader_session import LeaderSession
+from repro.enclaves.itgm.member import app_ad
+from repro.exceptions import CodecError, IntegrityError, StateError
+from repro.util.clock import Clock, RealClock
+from repro.wire.codec import decode_fields
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+@dataclass
+class LeaderStats:
+    """Aggregate counters for benchmarks and tests."""
+
+    joins: int = 0
+    leaves: int = 0
+    rekeys: int = 0
+    relayed_frames: int = 0
+    rejected: int = 0
+    denied: int = 0
+    grace_resealed: int = 0
+
+
+@dataclass
+class LeaderConfig:
+    """Tunable leader behaviour."""
+
+    rekey_policy: RekeyPolicy = RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE
+    rekey_interval: float = 60.0  # seconds, for RekeyPolicy.PERIODIC
+    access_policy: AccessPolicy = field(default=allow_all)
+    #: Accept (and re-seal under the current key) application frames
+    #: sealed with the immediately-previous group key — frames that were
+    #: in flight when a rotation happened.  One epoch back, never more;
+    #: the sender was a legitimate member at sealing time.  Disable for
+    #: strict current-epoch semantics (the bench_rekey ablation
+    #: quantifies the message-loss difference).
+    rekey_grace: bool = True
+
+
+class GroupLeader:
+    """Sans-IO group leader for the intrusion-tolerant protocol."""
+
+    def __init__(
+        self,
+        leader_id: str,
+        directory: UserDirectory,
+        config: LeaderConfig | None = None,
+        rng: RandomSource | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.leader_id = leader_id
+        self.directory = directory
+        self.config = config if config is not None else LeaderConfig()
+        self._rng = rng if rng is not None else SystemRandom()
+        self._clock = clock if clock is not None else RealClock()
+
+        self._sessions: dict[str, LeaderSession] = {}
+        self._outboxes: dict[str, deque[AdminPayload]] = {}
+        self._group_key: GroupKey | None = None
+        self._group_cipher: AuthenticatedCipher | None = None
+        self._previous_group_cipher: AuthenticatedCipher | None = None
+        self._last_rotation_was_eviction = False
+        self._group_epoch = -1
+        self._last_rekey = self._clock.now()
+        self.stats = LeaderStats()
+
+    # -- session plumbing ---------------------------------------------------
+
+    def _session(self, user_id: str) -> LeaderSession | None:
+        """Get or lazily create the per-user state machine."""
+        session = self._sessions.get(user_id)
+        if session is None:
+            if not self.directory.knows(user_id):
+                return None
+            session = LeaderSession(
+                self.leader_id, user_id, self.directory.lookup(user_id), self._rng
+            )
+            self._sessions[user_id] = session
+            self._outboxes[user_id] = deque()
+        return session
+
+    @property
+    def members(self) -> list[str]:
+        """Current group membership, sorted."""
+        return sorted(
+            uid for uid, s in self._sessions.items() if s.is_member
+        )
+
+    @property
+    def group_epoch(self) -> int:
+        return self._group_epoch
+
+    def session_state(self, user_id: str):
+        """The per-user FSM state (for tests/monitoring)."""
+        session = self._sessions.get(user_id)
+        return session.state if session else None
+
+    def outbox_depth(self, user_id: str) -> int:
+        """Queued-but-unsent admin payloads for one member."""
+        return len(self._outboxes.get(user_id, ()))
+
+    # -- incoming envelopes ----------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        """Process one envelope; returns (outgoing, events)."""
+        if envelope.recipient != self.leader_id:
+            self.stats.rejected += 1
+            return [], [Rejected("not addressed to leader", envelope.label)]
+        if envelope.label is Label.APP_DATA:
+            return self._relay_app(envelope)
+
+        user_id = envelope.sender
+        if envelope.label is Label.AUTH_INIT_REQ:
+            if not self.directory.knows(user_id):
+                self.stats.denied += 1
+                return [], [Denied(user_id, "unknown user")]
+            if not self.config.access_policy(user_id):
+                # The improved protocol has no pre-authentication
+                # exchange: denial is silent, so outsiders cannot forge
+                # a connection_denied DoS (§2.3 fix).
+                self.stats.denied += 1
+                return [], [Denied(user_id, "access policy")]
+
+        session = self._session(user_id)
+        if session is None:
+            self.stats.rejected += 1
+            return [], [Rejected("unknown sender", envelope.label)]
+
+        out, events = session.handle(envelope)
+        out = list(out)
+        for event in events:
+            if isinstance(event, Joined):
+                out.extend(self._on_member_joined(user_id))
+            elif isinstance(event, Left):
+                out.extend(self._on_member_left(user_id))
+            elif isinstance(event, Rejected):
+                self.stats.rejected += 1
+        out.extend(self._pump())
+        return out, list(events)
+
+    # -- membership changes --------------------------------------------------
+
+    def _on_member_joined(self, user_id: str) -> list[Envelope]:
+        self.stats.joins += 1
+        rotate = (
+            self._group_key is None
+            or RekeyPolicy.ON_JOIN in self.config.rekey_policy
+        )
+        if rotate:
+            self._rotate_group_key()
+        # Everyone already in the group learns about the new member (and
+        # the new key, if rotated).
+        for other in self.members:
+            if other == user_id:
+                continue
+            self._outboxes[other].append(MemberJoinedPayload(user_id))
+            if rotate:
+                self._outboxes[other].append(self._current_key_payload())
+        # The new member gets the membership view and the group key —
+        # "K_g must be distributed to A in subsequent group-management
+        # messages" (§3.2).
+        self._outboxes[user_id].append(
+            MembershipPayload(tuple(self.members))
+        )
+        self._outboxes[user_id].append(self._current_key_payload())
+        return []
+
+    def _on_member_left(self, user_id: str) -> list[Envelope]:
+        self.stats.leaves += 1
+        self._outboxes[user_id].clear()
+        rotate = (
+            RekeyPolicy.ON_LEAVE in self.config.rekey_policy and self.members
+        )
+        if rotate:
+            self._rotate_group_key(eviction=True)
+        for other in self.members:
+            self._outboxes[other].append(MemberLeftPayload(user_id))
+            if rotate:
+                self._outboxes[other].append(self._current_key_payload())
+        return []
+
+    # -- rekeying ---------------------------------------------------------------
+
+    def _rotate_group_key(self, eviction: bool = False) -> None:
+        # Grace never spans an eviction: an ex-member holds the previous
+        # key, so honoring it even briefly would let them keep injecting
+        # (spoofing a live member's name) until the next rotation.
+        self._previous_group_cipher = (
+            self._group_cipher
+            if self.config.rekey_grace and not eviction
+            else None
+        )
+        self._group_key = GroupKey(self._rng.key_material(KEY_LEN))
+        self._group_cipher = AuthenticatedCipher(self._group_key, self._rng)
+        self._group_epoch += 1
+        self._last_rekey = self._clock.now()
+        self._last_rotation_was_eviction = eviction
+        self.stats.rekeys += 1
+
+    def _current_key_payload(self) -> NewGroupKeyPayload:
+        assert self._group_key is not None
+        return NewGroupKeyPayload(
+            key=self._group_key,
+            epoch=self._group_epoch,
+            eviction=self._last_rotation_was_eviction,
+        )
+
+    def rekey_now(self) -> list[Envelope]:
+        """Manually rotate the group key and distribute it to all members."""
+        if not self.members:
+            raise StateError("cannot rekey an empty group")
+        self._rotate_group_key()
+        for member in self.members:
+            self._outboxes[member].append(self._current_key_payload())
+        return self._pump()
+
+    def expel(self, user_id: str) -> list[Envelope]:
+        """Expel a member ("a variation of this protocol can be used to
+        expel some members", §2.2).
+
+        The leader unilaterally closes the member's session (discarding
+        K_a exactly as a ReqClose would), notifies the rest of the
+        group through the authenticated admin channel, and rotates the
+        group key if the policy rekeys on leave — so the expellee is
+        also cryptographically evicted from group traffic.
+        """
+        session = self._sessions.get(user_id)
+        if session is None or not session.is_member:
+            raise StateError(f"{user_id!r} is not a member")
+        session.close_locally()
+        self._outboxes[user_id].clear()
+        out = self._on_member_left(user_id)
+        out.extend(self._pump())
+        return out
+
+    def tick(self) -> list[Envelope]:
+        """Advance time-driven behaviour (periodic rekey + loss recovery)."""
+        if (
+            RekeyPolicy.PERIODIC in self.config.rekey_policy
+            and self.members
+            and self._clock.now() - self._last_rekey >= self.config.rekey_interval
+        ):
+            return self.rekey_now()
+        return self._pump() + self.retransmit_stalled()
+
+    def retransmit_stalled(self) -> list[Envelope]:
+        """Re-send the last unacknowledged frame of every waiting session.
+
+        Byte-identical resends are always safe (a peer that already
+        processed the original rejects the copy); they unblock channels
+        whose AuthKeyDist/AdminMsg or the corresponding reply was lost.
+        Drive this from a timer (LeaderRuntime's tick loop does).
+        """
+        out = []
+        for session in self._sessions.values():
+            envelope = session.retransmit_last()
+            if envelope is not None:
+                out.append(envelope)
+        return out
+
+    # -- admin distribution --------------------------------------------------
+
+    def broadcast_admin(self, payload: AdminPayload) -> list[Envelope]:
+        """Queue an arbitrary admin payload to every current member."""
+        for member in self.members:
+            self._outboxes[member].append(payload)
+        return self._pump()
+
+    def send_admin_to(self, user_id: str, payload: AdminPayload) -> list[Envelope]:
+        """Queue an admin payload to one member."""
+        session = self._sessions.get(user_id)
+        if session is None or not session.is_member:
+            raise StateError(f"{user_id!r} is not a member")
+        self._outboxes[user_id].append(payload)
+        return self._pump()
+
+    def _pump(self) -> list[Envelope]:
+        """Send the next queued payload on every idle admin channel."""
+        out: list[Envelope] = []
+        for user_id, session in self._sessions.items():
+            outbox = self._outboxes[user_id]
+            if outbox and session.can_send_admin:
+                out.append(session.send_admin(outbox.popleft()))
+        return out
+
+    # -- application relay (Figure 1) --------------------------------------------
+
+    def _relay_app(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        sender = envelope.sender
+        session = self._sessions.get(sender)
+        if session is None or not session.is_member:
+            self.stats.rejected += 1
+            return [], [Rejected("APP_DATA from non-member", envelope.label)]
+        if self._group_cipher is None:
+            self.stats.rejected += 1
+            return [], [Rejected("APP_DATA before first group key",
+                                 envelope.label)]
+        # Verify under the current group key before relaying; a frame
+        # sealed under an old (leaked) key is discarded here — except,
+        # with rekey grace, frames exactly one epoch old, which the
+        # leader re-seals under the current key so every recipient can
+        # read them (the leader is trusted, so re-sealing is sound).
+        body = envelope.body
+        try:
+            box = SealedBox.from_bytes(body)
+            try:
+                plain = self._group_cipher.open(box, app_ad(sender))
+            except IntegrityError:
+                if self._previous_group_cipher is None:
+                    raise
+                plain = self._previous_group_cipher.open(box, app_ad(sender))
+                body = self._group_cipher.seal(
+                    plain, app_ad(sender)
+                ).to_bytes()
+                self.stats.grace_resealed += 1
+            decode_fields(plain, expect=2)
+        except (CodecError, IntegrityError):
+            self.stats.rejected += 1
+            return [], [Rejected("APP_DATA failed group-key check",
+                                 envelope.label)]
+        out = [
+            Envelope(Label.APP_DATA, sender, other, body)
+            for other in self.members
+            if other != sender
+        ]
+        self.stats.relayed_frames += len(out)
+        return out, []
+
+    # -- introspection for the formal-vs-concrete cross-checks -------------------
+
+    def admin_send_log(self, user_id: str) -> list[AdminPayload]:
+        """The ``snd_A`` list for one member (empty when not in session)."""
+        session = self._sessions.get(user_id)
+        return list(session.admin_log) if session else []
+
+    def stats_snapshot(self) -> dict:
+        """One observability snapshot: group state, aggregate counters,
+        and per-session health — what a monitoring endpoint would expose."""
+        return {
+            "members": self.members,
+            "group_epoch": self._group_epoch,
+            "stats": {
+                "joins": self.stats.joins,
+                "leaves": self.stats.leaves,
+                "rekeys": self.stats.rekeys,
+                "relayed_frames": self.stats.relayed_frames,
+                "rejected": self.stats.rejected,
+                "denied": self.stats.denied,
+                "grace_resealed": self.stats.grace_resealed,
+            },
+            "sessions": {
+                user_id: {
+                    "state": session.state.name,
+                    "outbox_depth": self.outbox_depth(user_id),
+                    "admin_sent": session.stats.admin_sent,
+                    "acks_accepted": session.stats.acks_accepted,
+                    "rejected": session.stats.rejected,
+                    "sessions_opened": session.stats.sessions_opened,
+                    "sessions_closed": session.stats.sessions_closed,
+                }
+                for user_id, session in self._sessions.items()
+            },
+        }

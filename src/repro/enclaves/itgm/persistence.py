@@ -1,0 +1,196 @@
+"""Leader state persistence: warm restarts without losing the group.
+
+The failover module (`repro.enclaves.itgm.failover`) covers *cold*
+crash recovery: sessions die, members rejoin.  This module covers the
+gentler case — a planned restart or a standby with replicated state —
+by snapshotting the leader's complete protocol state (group key and
+epoch, every per-user session with its key, nonce, and retransmission
+cache, pending outboxes) and restoring it into a fresh
+:class:`~repro.enclaves.itgm.leader.GroupLeader`.  Members never notice:
+their sessions, nonce chains, and pending admin exchanges continue
+exactly where they were.
+
+Snapshots contain live keys, so the on-disk form is *sealed*:
+:func:`seal_snapshot` wraps the serialized state in the same
+encrypt-then-MAC construction as the wire protocol, under a storage key
+the operator controls.  Restoring from a tampered or wrong-key blob
+fails loudly.
+
+Restrictions: the user directory (long-term keys) is provisioning
+state, not protocol state; it is passed to :func:`restore_leader`
+separately, exactly like the failover module does.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.crypto.aead import AuthenticatedCipher, SealedBox
+from repro.crypto.keys import GroupKey, KeyMaterial, SessionKey
+from repro.crypto.rng import RandomSource
+from repro.enclaves.common import UserDirectory
+from repro.enclaves.itgm.admin import decode_payload
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.exceptions import ProtocolError
+from repro.util.clock import Clock
+from repro.wire.message import Envelope
+
+#: Format marker so future layouts can migrate.
+SNAPSHOT_VERSION = 1
+
+_STORAGE_AD = b"repro-enclaves-leader-snapshot-v1"
+
+
+def _hex(data: bytes | None) -> str | None:
+    return data.hex() if data is not None else None
+
+
+def _unhex(text: str | None) -> bytes | None:
+    return bytes.fromhex(text) if text is not None else None
+
+
+def _session_snapshot(session: LeaderSession) -> dict:
+    return {
+        "state": session.state.name,
+        "nonce": _hex(session._nonce),
+        "session_key": _hex(
+            session._session_key.material if session._session_key else None
+        ),
+        "admin_log": [payload.encode().hex()
+                      for payload in session.admin_log],
+        "discarded_keys": list(session.discarded_keys),
+        "init_body": _hex(session._init_body),
+        "last_outbound": (
+            session._last_outbound.to_bytes().hex()
+            if session._last_outbound is not None else None
+        ),
+    }
+
+
+def _restore_session(
+    leader_id: str, user_id: str, directory: UserDirectory,
+    data: dict, rng: RandomSource | None,
+) -> LeaderSession:
+    session = LeaderSession(
+        leader_id, user_id, directory.lookup(user_id), rng
+    )
+    session.state = LeaderState[data["state"]]
+    session._nonce = _unhex(data["nonce"])
+    key_material = _unhex(data["session_key"])
+    if key_material is not None:
+        session._session_key = SessionKey(key_material)
+        session._session_cipher = AuthenticatedCipher(
+            session._session_key, session._rng
+        )
+    session.admin_log = [
+        decode_payload(bytes.fromhex(encoded))
+        for encoded in data["admin_log"]
+    ]
+    session.discarded_keys = list(data["discarded_keys"])
+    session._init_body = _unhex(data["init_body"])
+    if data["last_outbound"] is not None:
+        session._last_outbound = Envelope.from_bytes(
+            bytes.fromhex(data["last_outbound"])
+        )
+    return session
+
+
+def snapshot_leader(leader: GroupLeader) -> dict:
+    """Capture the leader's complete protocol state as a JSON-able dict."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "leader_id": leader.leader_id,
+        "group_key": _hex(
+            leader._group_key.material if leader._group_key else None
+        ),
+        "group_epoch": leader._group_epoch,
+        "last_rotation_was_eviction": leader._last_rotation_was_eviction,
+        "sessions": {
+            user_id: _session_snapshot(session)
+            for user_id, session in leader._sessions.items()
+        },
+        "outboxes": {
+            user_id: [payload.encode().hex() for payload in outbox]
+            for user_id, outbox in leader._outboxes.items()
+        },
+    }
+
+
+def restore_leader(
+    snapshot: dict,
+    directory: UserDirectory,
+    config: LeaderConfig | None = None,
+    rng: RandomSource | None = None,
+    clock: Clock | None = None,
+) -> GroupLeader:
+    """Rebuild a :class:`GroupLeader` from :func:`snapshot_leader` output.
+
+    Raises :class:`ProtocolError` on version mismatch or a user missing
+    from the directory (the registry must be at least as current as the
+    snapshot).
+    """
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise ProtocolError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    from collections import deque
+
+    leader = GroupLeader(
+        snapshot["leader_id"], directory, config=config, rng=rng, clock=clock
+    )
+    key_material = _unhex(snapshot["group_key"])
+    if key_material is not None:
+        leader._group_key = GroupKey(key_material)
+        leader._group_cipher = AuthenticatedCipher(
+            leader._group_key, leader._rng
+        )
+    leader._group_epoch = snapshot["group_epoch"]
+    leader._last_rotation_was_eviction = snapshot[
+        "last_rotation_was_eviction"
+    ]
+    # The previous-epoch cipher is deliberately NOT persisted: a restart
+    # closes any rekey grace window (conservative: never widen a window
+    # across an interruption whose duration we cannot know).
+    for user_id, data in snapshot["sessions"].items():
+        if not directory.knows(user_id):
+            raise ProtocolError(
+                f"snapshot references unknown user {user_id!r}"
+            )
+        leader._sessions[user_id] = _restore_session(
+            leader.leader_id, user_id, directory, data, leader._rng
+        )
+    for user_id, encoded_payloads in snapshot["outboxes"].items():
+        leader._outboxes[user_id] = deque(
+            decode_payload(bytes.fromhex(encoded))
+            for encoded in encoded_payloads
+        )
+    # Every session needs an outbox, even if it was empty at snapshot.
+    for user_id in leader._sessions:
+        leader._outboxes.setdefault(user_id, deque())
+    return leader
+
+
+def seal_snapshot(snapshot: dict, storage_key: KeyMaterial) -> bytes:
+    """Serialize and seal a snapshot for storage at rest."""
+    plain = json.dumps(snapshot, sort_keys=True).encode("utf-8")
+    return AuthenticatedCipher(storage_key).seal(
+        plain, _STORAGE_AD
+    ).to_bytes()
+
+
+def open_snapshot(blob: bytes, storage_key: KeyMaterial) -> dict:
+    """Verify and deserialize a sealed snapshot.
+
+    Raises :class:`IntegrityError` on tampering or a wrong key, and
+    :class:`ProtocolError` on malformed content.
+    """
+    box = SealedBox.from_bytes(blob)
+    plain = AuthenticatedCipher(storage_key).open(box, _STORAGE_AD)
+    try:
+        snapshot = json.loads(plain.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed snapshot payload") from exc
+    if not isinstance(snapshot, dict):
+        raise ProtocolError("snapshot must be a JSON object")
+    return snapshot

@@ -1,0 +1,28 @@
+"""The original Enclaves protocols (paper §2.2) — the flawed baseline.
+
+This stack deliberately preserves the weaknesses that §2.3 diagnoses, so
+that the attack library can demonstrate them:
+
+* The **pre-authentication exchange** (`req_open` / `ack_open` /
+  `connection_denied`) is plaintext and unauthenticated — anyone can
+  forge a denial and lock a legitimate user out.
+* **Membership notices** (`mem_removed`, `mem_added`) are sealed only
+  under the shared group key K_g — any *member* can forge them.
+* **Rekeying** (`new_key`) carries no freshness evidence — an old
+  `new_key` message replays cleanly, reverting a member to a key that a
+  past member may still hold.
+* The **auth exchange** ships the group key inside message 2, so group
+  access begins before the leader has confirmed the user holds K_a.
+
+Do not deploy this stack; it exists as the paper's baseline.
+"""
+
+from repro.enclaves.legacy.leader import LegacyGroupLeader, LegacyLeaderState
+from repro.enclaves.legacy.member import LegacyMemberProtocol, LegacyMemberState
+
+__all__ = [
+    "LegacyMemberProtocol",
+    "LegacyMemberState",
+    "LegacyGroupLeader",
+    "LegacyLeaderState",
+]

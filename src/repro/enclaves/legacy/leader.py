@@ -1,0 +1,353 @@
+"""Legacy group leader (paper §2.2), flaws preserved.
+
+Mirrors :class:`~repro.enclaves.itgm.leader.GroupLeader` structurally so
+the attack matrix can run the same scenarios against both stacks, but the
+protocol on the wire is the original one: plaintext pre-auth, group key
+inside the auth exchange, nonce-free rekeying, group-key-sealed
+membership notices, plaintext close.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.aead import AuthenticatedCipher, SealedBox
+from repro.crypto.keys import KEY_LEN, GroupKey, SessionKey
+from repro.crypto.rng import NONCE_LEN, RandomSource, SystemRandom
+from repro.enclaves.common import (
+    Denied,
+    Event,
+    Joined,
+    Left,
+    Rejected,
+    RekeyPolicy,
+    UserDirectory,
+    allow_all,
+)
+from repro.enclaves.itgm.member import app_ad, seal_ad
+from repro.exceptions import CodecError, IntegrityError, StateError
+from repro.util.bytesops import constant_time_eq
+from repro.wire.codec import (
+    decode_fields,
+    encode_fields,
+    encode_str,
+    encode_str_list,
+)
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+class LegacyLeaderState(enum.Enum):
+    """Legacy leader per-user states."""
+
+    NOT_CONNECTED = "NotConnected"
+    OPENED = "Opened"
+    WAITING_AUTH3 = "WaitingAuth3"
+    CONNECTED = "Connected"
+
+
+@dataclass
+class _UserSlot:
+    """Per-user connection state inside the legacy leader."""
+
+    state: LegacyLeaderState = LegacyLeaderState.NOT_CONNECTED
+    nonce: bytes | None = None
+    session_key: SessionKey | None = None
+    session_cipher: AuthenticatedCipher | None = None
+
+
+@dataclass
+class LegacyLeaderStats:
+    joins: int = 0
+    leaves: int = 0
+    rekeys: int = 0
+    relayed_frames: int = 0
+    rejected: int = 0
+    denied: int = 0
+
+
+class LegacyGroupLeader:
+    """Sans-IO legacy leader."""
+
+    def __init__(
+        self,
+        leader_id: str,
+        directory: UserDirectory,
+        access_policy=allow_all,
+        rekey_policy: RekeyPolicy = RekeyPolicy.MANUAL,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self.leader_id = leader_id
+        self.directory = directory
+        self.access_policy = access_policy
+        self.rekey_policy = rekey_policy
+        self._rng = rng if rng is not None else SystemRandom()
+        self._slots: dict[str, _UserSlot] = {}
+        self._group_key: GroupKey | None = None
+        self._group_cipher: AuthenticatedCipher | None = None
+        self.stats = LegacyLeaderStats()
+
+    def _slot(self, user_id: str) -> _UserSlot:
+        return self._slots.setdefault(user_id, _UserSlot())
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(
+            uid for uid, slot in self._slots.items()
+            if slot.state is LegacyLeaderState.CONNECTED
+        )
+
+    @property
+    def group_key_fingerprint(self) -> str | None:
+        return self._group_key.fingerprint() if self._group_key else None
+
+    # -- incoming ---------------------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        if envelope.recipient != self.leader_id:
+            self.stats.rejected += 1
+            return [], [Rejected("not addressed to leader", envelope.label)]
+        handlers = {
+            Label.REQ_OPEN: self._on_req_open,
+            Label.LEGACY_AUTH_1: self._on_auth1,
+            Label.LEGACY_AUTH_3: self._on_auth3,
+            Label.NEW_KEY_ACK: self._on_new_key_ack,
+            Label.REQ_CLOSE_LEGACY: self._on_req_close,
+            Label.APP_DATA: self._on_app_data,
+        }
+        handler = handlers.get(envelope.label)
+        if handler is None:
+            self.stats.rejected += 1
+            return [], [Rejected("unexpected label", envelope.label)]
+        return handler(envelope)
+
+    def _on_req_open(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        user_id = envelope.sender
+        # FLAW context (§2.3): the pre-auth reply is plaintext either
+        # way; we reproduce it faithfully.
+        if not self.directory.knows(user_id) or not self.access_policy(user_id):
+            self.stats.denied += 1
+            return (
+                [Envelope(Label.CONNECTION_DENIED, self.leader_id, user_id, b"")],
+                [Denied(user_id, "access policy")],
+            )
+        slot = self._slot(user_id)
+        slot.state = LegacyLeaderState.OPENED
+        return (
+            [Envelope(Label.ACK_OPEN, self.leader_id, user_id, b"")],
+            [],
+        )
+
+    def _on_auth1(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        user_id = envelope.sender
+        slot = self._slots.get(user_id)
+        if slot is None or slot.state is not LegacyLeaderState.OPENED:
+            self.stats.rejected += 1
+            return [], [Rejected("auth1 without req_open", envelope.label)]
+        if not self.directory.knows(user_id):
+            self.stats.rejected += 1
+            return [], [Rejected("auth1 from unknown user", envelope.label)]
+        long_term = AuthenticatedCipher(self.directory.lookup(user_id), self._rng)
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = long_term.open(
+                box, seal_ad(Label.LEGACY_AUTH_1, user_id, self.leader_id)
+            )
+            user_b, leader_b, n1 = decode_fields(plain, expect=3)
+        except (CodecError, IntegrityError):
+            self.stats.rejected += 1
+            return [], [Rejected("auth1 failed authentication", envelope.label)]
+        if user_b != encode_str(user_id) or leader_b != encode_str(self.leader_id):
+            self.stats.rejected += 1
+            return [], [Rejected("auth1 identity mismatch", envelope.label)]
+        if len(n1) != NONCE_LEN:
+            self.stats.rejected += 1
+            return [], [Rejected("auth1 malformed nonce", envelope.label)]
+
+        # First member accepted => first group key (§2.2).  FLAW: the
+        # group key ships in auth message 2, before auth completes.
+        if self._group_key is None:
+            self._rotate_group_key()
+        n2 = self._rng.nonce().value
+        slot.nonce = n2
+        slot.session_key = SessionKey(self._rng.key_material(KEY_LEN))
+        slot.session_cipher = AuthenticatedCipher(slot.session_key, self._rng)
+        assert self._group_key is not None
+        body = long_term.seal(
+            encode_fields(
+                [encode_str(self.leader_id), encode_str(user_id),
+                 n1, n2, slot.session_key.material, self._group_key.material]
+            ),
+            seal_ad(Label.LEGACY_AUTH_2, self.leader_id, user_id),
+        ).to_bytes()
+        slot.state = LegacyLeaderState.WAITING_AUTH3
+        return (
+            [Envelope(Label.LEGACY_AUTH_2, self.leader_id, user_id, body)],
+            [],
+        )
+
+    def _on_auth3(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        user_id = envelope.sender
+        slot = self._slots.get(user_id)
+        if (
+            slot is None
+            or slot.state is not LegacyLeaderState.WAITING_AUTH3
+            or slot.session_cipher is None
+        ):
+            self.stats.rejected += 1
+            return [], [Rejected("auth3 out of state", envelope.label)]
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = slot.session_cipher.open(
+                box, seal_ad(Label.LEGACY_AUTH_3, user_id, self.leader_id)
+            )
+            (n2,) = decode_fields(plain, expect=1)
+        except (CodecError, IntegrityError):
+            self.stats.rejected += 1
+            return [], [Rejected("auth3 failed authentication", envelope.label)]
+        assert slot.nonce is not None
+        if len(n2) != NONCE_LEN or not constant_time_eq(n2, slot.nonce):
+            self.stats.rejected += 1
+            return [], [Rejected("auth3 stale nonce", envelope.label)]
+
+        slot.state = LegacyLeaderState.CONNECTED
+        self.stats.joins += 1
+        out: list[Envelope] = []
+        # Tell the group (under K_g) and send the newcomer the view.
+        out.extend(self._membership_notice(user_id, added=True))
+        out.append(self._membership_view_for(user_id))
+        if RekeyPolicy.ON_JOIN in self.rekey_policy:
+            out.extend(self.rekey_now())
+        return out, [Joined(user_id)]
+
+    def _on_new_key_ack(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        # The ack is {K_g'}_{K_g'}; the legacy leader only counts it.
+        if self._group_cipher is None:
+            self.stats.rejected += 1
+            return [], [Rejected("new_key_ack without group key", envelope.label)]
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = self._group_cipher.open(
+                box, seal_ad(Label.NEW_KEY_ACK, envelope.sender, self.leader_id)
+            )
+            (kg,) = decode_fields(plain, expect=1)
+            assert self._group_key is not None
+            if kg != self._group_key.material:
+                raise IntegrityError("acked wrong key")
+        except (CodecError, IntegrityError, AssertionError):
+            self.stats.rejected += 1
+            return [], [Rejected("new_key_ack invalid", envelope.label)]
+        return [], []
+
+    def _on_req_close(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        # FLAW: req_close is plaintext — anyone can disconnect anyone.
+        user_id = envelope.sender
+        slot = self._slots.get(user_id)
+        if slot is None or slot.state is not LegacyLeaderState.CONNECTED:
+            self.stats.rejected += 1
+            return [], [Rejected("req_close out of state", envelope.label)]
+        slot.state = LegacyLeaderState.NOT_CONNECTED
+        slot.session_key = None
+        slot.session_cipher = None
+        slot.nonce = None
+        self.stats.leaves += 1
+        out = [Envelope(Label.CLOSE_CONNECTION, self.leader_id, user_id, b"")]
+        out.extend(self._membership_notice(user_id, added=False))
+        if RekeyPolicy.ON_LEAVE in self.rekey_policy and self.members:
+            out.extend(self.rekey_now())
+        return out, [Left(user_id)]
+
+    def _on_app_data(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        sender = envelope.sender
+        slot = self._slots.get(sender)
+        if (
+            slot is None
+            or slot.state is not LegacyLeaderState.CONNECTED
+            or self._group_cipher is None
+        ):
+            self.stats.rejected += 1
+            return [], [Rejected("app data from non-member", envelope.label)]
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            self._group_cipher.open(box, app_ad(sender))
+        except (CodecError, IntegrityError):
+            self.stats.rejected += 1
+            return [], [Rejected("app data bad key", envelope.label)]
+        out = [
+            Envelope(Label.APP_DATA, sender, other, envelope.body)
+            for other in self.members
+            if other != sender
+        ]
+        self.stats.relayed_frames += len(out)
+        return out, []
+
+    # -- leader-initiated -----------------------------------------------------
+
+    def rekey_now(self) -> list[Envelope]:
+        """Rotate K_g and send ``new_key`` to every member.
+
+        FLAW (§2.3): the new_key message carries no member-supplied
+        freshness, so any recorded copy replays cleanly later.
+        """
+        if not self.members:
+            raise StateError("cannot rekey an empty group")
+        self._rotate_group_key()
+        assert self._group_key is not None
+        out = []
+        for member in self.members:
+            slot = self._slots[member]
+            assert slot.session_cipher is not None
+            body = slot.session_cipher.seal(
+                encode_fields([self._group_key.material]),
+                seal_ad(Label.NEW_KEY, self.leader_id, member),
+            ).to_bytes()
+            out.append(Envelope(Label.NEW_KEY, self.leader_id, member, body))
+        self.stats.rekeys += 1
+        return out
+
+    def expel(self, user_id: str) -> list[Envelope]:
+        """Expel a member ("a variation of this protocol", §2.2)."""
+        slot = self._slots.get(user_id)
+        if slot is None or slot.state is not LegacyLeaderState.CONNECTED:
+            raise StateError(f"{user_id!r} is not a member")
+        slot.state = LegacyLeaderState.NOT_CONNECTED
+        slot.session_key = None
+        slot.session_cipher = None
+        self.stats.leaves += 1
+        out = [Envelope(Label.CLOSE_CONNECTION, self.leader_id, user_id, b"")]
+        out.extend(self._membership_notice(user_id, added=False))
+        return out
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _rotate_group_key(self) -> None:
+        self._group_key = GroupKey(self._rng.key_material(KEY_LEN))
+        self._group_cipher = AuthenticatedCipher(self._group_key, self._rng)
+
+    def _membership_notice(self, user_id: str, added: bool) -> list[Envelope]:
+        """``L, mem_added/mem_removed, {A}_{K_g}`` to every other member."""
+        if self._group_cipher is None:
+            return []
+        label = Label.MEM_ADDED if added else Label.MEM_REMOVED
+        out = []
+        for other in self.members:
+            if other == user_id:
+                continue
+            body = self._group_cipher.seal(
+                encode_fields([encode_str(user_id)]),
+                seal_ad(label, self.leader_id, other),
+            ).to_bytes()
+            out.append(Envelope(label, self.leader_id, other, body))
+        return out
+
+    def _membership_view_for(self, user_id: str) -> Envelope:
+        """Send the newcomer the identities of the other members (§2.2)."""
+        assert self._group_cipher is not None
+        body = self._group_cipher.seal(
+            encode_fields(
+                [b"view", encode_str_list(self.members)]
+            ),
+            seal_ad(Label.MEM_ADDED, self.leader_id, user_id),
+        ).to_bytes()
+        return Envelope(Label.MEM_ADDED, self.leader_id, user_id, body)

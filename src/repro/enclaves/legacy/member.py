@@ -1,0 +1,333 @@
+"""Legacy member state machine (paper §2.2), flaws preserved.
+
+Protocol, as the paper gives it::
+
+    1. A -> L: A, req_open
+    2. L -> A: L, ack_open            (or connection_denied)  [PLAINTEXT]
+    1. A -> L: A, {A, L, N1}_{P_a}
+    2. L -> A: L, {L, A, N1, N2, K_a, IV, K_g}_{P_a}
+    3. A -> L: A, {N2}_{K_a}
+    ...
+    L -> A: L, new_key, {K_g', IV}_{K_a}        [NO FRESHNESS -> replayable]
+    A -> L: A, new_key_ack, {K_g'}_{K_g'}
+    ...
+    A -> L: A, req_close                         [PLAINTEXT]
+    L -> A: L, close_connection                  [PLAINTEXT]
+    L -> B: L, mem_removed, {A}_{K_g}            [FORGEABLE BY MEMBERS]
+
+The known vulnerabilities are kept on purpose; each carries a
+``FLAW:`` comment pointing at the §2.3 paragraph it realizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.aead import AuthenticatedCipher, SealedBox
+from repro.crypto.keys import GroupKey, SessionKey
+from repro.crypto.rng import NONCE_LEN, RandomSource, SystemRandom
+from repro.enclaves.common import (
+    AppMessage,
+    Credentials,
+    Denied,
+    Event,
+    GroupKeyChanged,
+    Joined,
+    Left,
+    MemberJoined,
+    MemberLeft,
+    MembershipView,
+    Rejected,
+)
+from repro.enclaves.itgm.member import app_ad, seal_ad
+from repro.exceptions import CodecError, IntegrityError, StateError
+from repro.util.bytesops import constant_time_eq
+from repro.wire.codec import (
+    decode_fields,
+    decode_str_list,
+    encode_fields,
+    encode_str,
+)
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+class LegacyMemberState(enum.Enum):
+    """Legacy member states (pre-auth adds one vs. Figure 2)."""
+
+    NOT_CONNECTED = "NotConnected"
+    WAITING_OPEN = "WaitingOpen"
+    WAITING_FOR_KEY = "WaitingForKey"
+    CONNECTED = "Connected"
+
+
+@dataclass
+class LegacyMemberStats:
+    rejected: int = 0
+    rekeys_accepted: int = 0
+    app_accepted: int = 0
+
+
+class LegacyMemberProtocol:
+    """Sans-IO legacy member."""
+
+    def __init__(
+        self,
+        credentials: Credentials,
+        leader_id: str,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self.credentials = credentials
+        self.user_id = credentials.user_id
+        self.leader_id = leader_id
+        self._rng = rng if rng is not None else SystemRandom()
+        self._long_term_cipher = AuthenticatedCipher(
+            credentials.long_term_key, self._rng
+        )
+        self.state = LegacyMemberState.NOT_CONNECTED
+        self._nonce: bytes | None = None
+        self._session_key: SessionKey | None = None
+        self._session_cipher: AuthenticatedCipher | None = None
+        self._group_key: GroupKey | None = None
+        self._group_cipher: AuthenticatedCipher | None = None
+        self.membership: set[str] = set()
+        self.stats = LegacyMemberStats()
+        #: History of installed group keys (lets tests observe reversion).
+        self.group_key_history: list[str] = []
+
+    # -- user actions --------------------------------------------------------
+
+    def start_join(self) -> Envelope:
+        """Step 1 of the pre-auth exchange: plaintext ``A, req_open``."""
+        if self.state is not LegacyMemberState.NOT_CONNECTED:
+            raise StateError(f"cannot join from {self.state}")
+        self.state = LegacyMemberState.WAITING_OPEN
+        return Envelope(Label.REQ_OPEN, self.user_id, self.leader_id, b"")
+
+    def start_leave(self) -> Envelope:
+        """Plaintext ``A, req_close`` (FLAW: trivially forgeable)."""
+        if self.state is not LegacyMemberState.CONNECTED:
+            raise StateError(f"cannot leave from {self.state}")
+        self._reset()
+        return Envelope(Label.REQ_CLOSE_LEGACY, self.user_id, self.leader_id, b"")
+
+    def seal_app(self, payload: bytes) -> Envelope:
+        """Seal an app payload under the current group key."""
+        if self.state is not LegacyMemberState.CONNECTED or self._group_cipher is None:
+            raise StateError("not connected with a group key")
+        body = self._group_cipher.seal(
+            encode_fields([encode_str(self.user_id), payload]),
+            app_ad(self.user_id),
+        ).to_bytes()
+        return Envelope(Label.APP_DATA, self.user_id, self.leader_id, body)
+
+    # -- envelope handling ------------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        if envelope.recipient != self.user_id:
+            return [], [self._reject("not addressed to us", envelope.label)]
+        handlers = {
+            Label.ACK_OPEN: self._on_ack_open,
+            Label.CONNECTION_DENIED: self._on_denied,
+            Label.LEGACY_AUTH_2: self._on_auth2,
+            Label.NEW_KEY: self._on_new_key,
+            Label.CLOSE_CONNECTION: self._on_close,
+            Label.MEM_ADDED: self._on_mem_added,
+            Label.MEM_REMOVED: self._on_mem_removed,
+            Label.APP_DATA: self._on_app_data,
+        }
+        handler = handlers.get(envelope.label)
+        if handler is None:
+            return [], [self._reject("unexpected label", envelope.label)]
+        return handler(envelope)
+
+    def _on_ack_open(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        if self.state is not LegacyMemberState.WAITING_OPEN:
+            return [], [self._reject("ack_open out of state", envelope.label)]
+        # Pre-auth accepted: begin the real authentication.
+        n1 = self._rng.nonce().value
+        self._nonce = n1
+        body = self._long_term_cipher.seal(
+            encode_fields(
+                [encode_str(self.user_id), encode_str(self.leader_id), n1]
+            ),
+            seal_ad(Label.LEGACY_AUTH_1, self.user_id, self.leader_id),
+        ).to_bytes()
+        self.state = LegacyMemberState.WAITING_FOR_KEY
+        return (
+            [Envelope(Label.LEGACY_AUTH_1, self.user_id, self.leader_id, body)],
+            [],
+        )
+
+    def _on_denied(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        # FLAW (§2.3): the denial is plaintext and unauthenticated — "A
+        # has no guarantees that the reply ... actually came from the
+        # group leader."  We accept it, exactly like the original.
+        if self.state is not LegacyMemberState.WAITING_OPEN:
+            return [], [self._reject("denied out of state", envelope.label)]
+        self._reset()
+        return [], [Denied(self.user_id, "connection_denied received")]
+
+    def _on_auth2(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        if self.state is not LegacyMemberState.WAITING_FOR_KEY:
+            return [], [self._reject("auth2 out of state", envelope.label)]
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = self._long_term_cipher.open(
+                box, seal_ad(Label.LEGACY_AUTH_2, self.leader_id, self.user_id)
+            )
+            fields = decode_fields(plain, expect=6)
+        except (CodecError, IntegrityError):
+            return [], [self._reject("auth2 failed authentication",
+                                     envelope.label)]
+        leader_b, user_b, n1, n2, ka_material, kg_material = fields
+        if (
+            leader_b != encode_str(self.leader_id)
+            or user_b != encode_str(self.user_id)
+        ):
+            return [], [self._reject("auth2 identity mismatch", envelope.label)]
+        assert self._nonce is not None
+        if len(n1) != NONCE_LEN or not constant_time_eq(n1, self._nonce):
+            return [], [self._reject("auth2 stale nonce", envelope.label)]
+        if len(ka_material) != 32 or len(kg_material) != 32 or len(n2) != NONCE_LEN:
+            return [], [self._reject("auth2 malformed keys", envelope.label)]
+
+        # FLAW: the group key arrives inside the auth exchange, before
+        # the leader has any proof we hold K_a.
+        self._session_key = SessionKey(ka_material)
+        self._session_cipher = AuthenticatedCipher(self._session_key, self._rng)
+        self._install_group_key(GroupKey(kg_material))
+        body = self._session_cipher.seal(
+            encode_fields([n2]),
+            seal_ad(Label.LEGACY_AUTH_3, self.user_id, self.leader_id),
+        ).to_bytes()
+        self.state = LegacyMemberState.CONNECTED
+        self.membership = {self.user_id}
+        reply = Envelope(Label.LEGACY_AUTH_3, self.user_id, self.leader_id, body)
+        return [reply], [Joined(self.user_id), GroupKeyChanged(
+            self._group_key.fingerprint())]
+
+    def _on_new_key(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        if (
+            self.state is not LegacyMemberState.CONNECTED
+            or self._session_cipher is None
+        ):
+            return [], [self._reject("new_key out of state", envelope.label)]
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = self._session_cipher.open(
+                box, seal_ad(Label.NEW_KEY, self.leader_id, self.user_id)
+            )
+            (kg_material,) = decode_fields(plain, expect=1)
+        except (CodecError, IntegrityError):
+            return [], [self._reject("new_key failed authentication",
+                                     envelope.label)]
+        if len(kg_material) != 32:
+            return [], [self._reject("new_key malformed", envelope.label)]
+
+        # FLAW (§2.3): "nothing guarantees to A that this message is
+        # fresh" — there is no nonce of ours inside, so a replayed old
+        # new_key re-installs an old group key.
+        new_kg = GroupKey(kg_material)
+        self._install_group_key(new_kg)
+        self.stats.rekeys_accepted += 1
+        ack_cipher = AuthenticatedCipher(new_kg, self._rng)
+        body = ack_cipher.seal(
+            encode_fields([kg_material]),
+            seal_ad(Label.NEW_KEY_ACK, self.user_id, self.leader_id),
+        ).to_bytes()
+        ack = Envelope(Label.NEW_KEY_ACK, self.user_id, self.leader_id, body)
+        return [ack], [GroupKeyChanged(new_kg.fingerprint())]
+
+    def _on_close(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        # Plaintext close_connection: also unauthenticated (same family
+        # of flaw as connection_denied).
+        if self.state is LegacyMemberState.NOT_CONNECTED:
+            return [], [self._reject("close out of state", envelope.label)]
+        self._reset()
+        return [], [Left(self.user_id)]
+
+    def _on_mem_added(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        return self._on_membership_notice(envelope, added=True)
+
+    def _on_mem_removed(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        # FLAW (§2.3): "Such a message can be easily forged by any group
+        # member since it is encrypted with the common group key."
+        return self._on_membership_notice(envelope, added=False)
+
+    def _on_membership_notice(
+        self, envelope: Envelope, added: bool
+    ) -> tuple[list[Envelope], list[Event]]:
+        if self.state is not LegacyMemberState.CONNECTED or self._group_cipher is None:
+            return [], [self._reject("membership notice out of state",
+                                     envelope.label)]
+        label = Label.MEM_ADDED if added else Label.MEM_REMOVED
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = self._group_cipher.open(
+                box, seal_ad(label, self.leader_id, self.user_id)
+            )
+            fields = decode_fields(plain)
+        except (CodecError, IntegrityError):
+            return [], [self._reject("membership notice bad key",
+                                     envelope.label)]
+        if len(fields) == 1:
+            who = fields[0].decode("utf-8", errors="replace")
+            if added:
+                self.membership.add(who)
+                return [], [MemberJoined(who)]
+            self.membership.discard(who)
+            return [], [MemberLeft(who)]
+        # A full membership view (sent to newly joined members).
+        try:
+            members = decode_str_list(fields[1]) if len(fields) == 2 else []
+        except CodecError:
+            return [], [self._reject("malformed membership view",
+                                     envelope.label)]
+        self.membership = set(members)
+        return [], [MembershipView(tuple(sorted(members)))]
+
+    def _on_app_data(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        if self.state is not LegacyMemberState.CONNECTED or self._group_cipher is None:
+            return [], [self._reject("app data out of state", envelope.label)]
+        try:
+            box = SealedBox.from_bytes(envelope.body)
+            plain = self._group_cipher.open(box, app_ad(envelope.sender))
+            sender_b, payload = decode_fields(plain, expect=2)
+        except (CodecError, IntegrityError):
+            return [], [self._reject("app data bad key", envelope.label)]
+        sender = sender_b.decode("utf-8", errors="replace")
+        if sender == self.user_id:
+            return [], []
+        self.stats.app_accepted += 1
+        return [], [AppMessage(sender, payload)]
+
+    # -- internals -------------------------------------------------------------
+
+    def _install_group_key(self, key: GroupKey) -> None:
+        self._group_key = key
+        self._group_cipher = AuthenticatedCipher(key, self._rng)
+        self.group_key_history.append(key.fingerprint())
+
+    def _reset(self) -> None:
+        self.state = LegacyMemberState.NOT_CONNECTED
+        self._nonce = None
+        self._session_key = None
+        self._session_cipher = None
+        self._group_key = None
+        self._group_cipher = None
+        self.membership = set()
+
+    def _reject(self, reason: str, label) -> Rejected:
+        self.stats.rejected += 1
+        return Rejected(reason, label)
+
+    @property
+    def current_group_key(self) -> GroupKey | None:
+        """Exposed so attack code can model a *compromised* member."""
+        return self._group_key
+
+    @property
+    def group_key_fingerprint(self) -> str | None:
+        return self._group_key.fingerprint() if self._group_key else None

@@ -1,0 +1,134 @@
+"""Composable access policies.
+
+The paper: "L can either accept or deny access to A depending on the
+application security policy."  The protocol layer only needs a
+``user_id -> bool`` callable; this module provides the policies real
+deployments ask for, composable with ``&`` / ``|`` / ``~``:
+
+    policy = Allowlist({"alice", "bob"}) & MaxGroupSize(leader, 16)
+    leader = GroupLeader("leader", directory,
+                         config=LeaderConfig(access_policy=policy))
+
+Policies are evaluated at AuthInitReq time; with the improved protocol,
+denial is always silent (no forgeable denial message exists).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.util.clock import Clock, RealClock
+
+
+class Policy:
+    """Base: a callable policy with boolean composition."""
+
+    def __call__(self, user_id: str) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Policy | Callable[[str], bool]") -> "Policy":
+        return _Combined(lambda uid: self(uid) and other(uid),
+                         f"({self!r} & {other!r})")
+
+    def __or__(self, other: "Policy | Callable[[str], bool]") -> "Policy":
+        return _Combined(lambda uid: self(uid) or other(uid),
+                         f"({self!r} | {other!r})")
+
+    def __invert__(self) -> "Policy":
+        return _Combined(lambda uid: not self(uid), f"~{self!r}")
+
+
+class _Combined(Policy):
+    def __init__(self, fn: Callable[[str], bool], description: str) -> None:
+        self._fn = fn
+        self._description = description
+
+    def __call__(self, user_id: str) -> bool:
+        return self._fn(user_id)
+
+    def __repr__(self) -> str:
+        return self._description
+
+
+class AllowAll(Policy):
+    """Any registered user may join."""
+
+    def __call__(self, user_id: str) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AllowAll()"
+
+
+class Allowlist(Policy):
+    """Only the listed users may join."""
+
+    def __init__(self, user_ids: Iterable[str]) -> None:
+        self.user_ids = frozenset(user_ids)
+
+    def __call__(self, user_id: str) -> bool:
+        return user_id in self.user_ids
+
+    def __repr__(self) -> str:
+        return f"Allowlist({sorted(self.user_ids)})"
+
+
+class Denylist(Policy):
+    """Everyone except the listed users may join."""
+
+    def __init__(self, user_ids: Iterable[str]) -> None:
+        self.user_ids = frozenset(user_ids)
+
+    def __call__(self, user_id: str) -> bool:
+        return user_id not in self.user_ids
+
+    def __repr__(self) -> str:
+        return f"Denylist({sorted(self.user_ids)})"
+
+
+class MaxGroupSize(Policy):
+    """Admit joins only while the group is below a size cap.
+
+    Takes the leader lazily (a zero-argument membership thunk) so the
+    policy can be built before the leader exists.
+    """
+
+    def __init__(self, members_thunk: Callable[[], list[str]],
+                 limit: int) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self._members = members_thunk
+        self.limit = limit
+
+    @classmethod
+    def of_leader(cls, leader, limit: int) -> "MaxGroupSize":
+        return cls(lambda: leader.members, limit)
+
+    def __call__(self, user_id: str) -> bool:
+        members = self._members()
+        return user_id in members or len(members) < self.limit
+
+    def __repr__(self) -> str:
+        return f"MaxGroupSize(limit={self.limit})"
+
+
+class TimeWindow(Policy):
+    """Admit joins only inside [open_at, close_at) on the given clock.
+
+    For "the session is open 9:00-17:00" style policies; uses the
+    injected clock so simulations control it.
+    """
+
+    def __init__(self, open_at: float, close_at: float,
+                 clock: Clock | None = None) -> None:
+        if close_at <= open_at:
+            raise ValueError("close_at must be after open_at")
+        self.open_at = open_at
+        self.close_at = close_at
+        self._clock = clock if clock is not None else RealClock()
+
+    def __call__(self, user_id: str) -> bool:
+        return self.open_at <= self._clock.now() < self.close_at
+
+    def __repr__(self) -> str:
+        return f"TimeWindow({self.open_at}, {self.close_at})"

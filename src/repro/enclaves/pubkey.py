@@ -1,0 +1,101 @@
+"""Public-key provisioning of credentials (the §2.2 footnote).
+
+    "Authentication using public-key cryptography is also possible,
+     but is not currently implemented."  — paper, footnote 1
+
+This module implements it: a :class:`PublicKeyDirectory` holds users'
+static DH public keys (instead of password-derived keys), the leader
+holds its own static key pair, and both sides derive the same pairwise
+``P_a`` via static-static Diffie-Hellman.  From there the improved
+protocol of §3.2 runs **unchanged** — this module only replaces how
+``P_a`` comes to be mutually known, which is the exact boundary the §5
+proofs assume.
+
+Usage::
+
+    pki = PublicKeyInfrastructure.create("leader")
+    alice_creds = pki.enroll_user("alice")        # user-side credentials
+    directory = pki.leader_directory()            # leader-side directory
+    leader = GroupLeader("leader", directory)
+    member = MemberProtocol(alice_creds, "leader")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.dh import (
+    DHKeyPair,
+    derive_pairwise_long_term_key,
+    generate_keypair,
+)
+from repro.crypto.rng import RandomSource
+from repro.enclaves.common import Credentials, UserDirectory
+
+
+@dataclass
+class PublicKeyInfrastructure:
+    """A tiny enrollment authority for DH-provisioned groups.
+
+    In a deployment, users would generate key pairs locally and the
+    leader would learn the public halves out of band (certificates,
+    TOFU, an admin console).  For the library, this class plays that
+    out-of-band channel: it generates user key pairs, records the
+    public halves, and hands each side its derived credentials.
+    """
+
+    leader_id: str
+    leader_keys: DHKeyPair
+    user_public_keys: dict[str, int]
+
+    @classmethod
+    def create(
+        cls, leader_id: str, rng: RandomSource | None = None
+    ) -> "PublicKeyInfrastructure":
+        return cls(
+            leader_id=leader_id,
+            leader_keys=generate_keypair(rng),
+            user_public_keys={},
+        )
+
+    @property
+    def leader_public_key(self) -> int:
+        return self.leader_keys.public
+
+    def enroll_user(
+        self, user_id: str, rng: RandomSource | None = None
+    ) -> Credentials:
+        """Generate a user key pair, register the public half, and
+        return the user's derived credentials.
+
+        The user derives P_a from their own private key and the
+        leader's public key; the leader will derive the same P_a from
+        its private key and the user's public key.
+        """
+        user_keys = generate_keypair(rng)
+        self.user_public_keys[user_id] = user_keys.public
+        long_term = derive_pairwise_long_term_key(
+            user_keys, self.leader_public_key, user_id, self.leader_id
+        )
+        return Credentials(user_id=user_id, long_term_key=long_term)
+
+    def register_existing_user(self, user_id: str, public_key: int) -> None:
+        """Register a user who generated their own key pair elsewhere."""
+        from repro.crypto.dh import validate_public_key
+
+        validate_public_key(public_key)
+        self.user_public_keys[user_id] = public_key
+
+    def leader_directory(self) -> UserDirectory:
+        """Build the leader's :class:`UserDirectory` by deriving the
+        pairwise P_a for every enrolled user from the leader's private
+        key."""
+        directory = UserDirectory()
+        for user_id, public_key in self.user_public_keys.items():
+            directory.register(
+                user_id,
+                derive_pairwise_long_term_key(
+                    self.leader_keys, public_key, user_id, self.leader_id
+                ),
+            )
+        return directory

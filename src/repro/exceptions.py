@@ -1,0 +1,113 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch one base class.  Protocol-level failures are further
+split so that a leader or member can distinguish "the peer misbehaved"
+(:class:`ProtocolViolation` and subclasses) from "my local state does not
+permit this action" (:class:`StateError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures inside the crypto substrate."""
+
+
+class IntegrityError(CryptoError):
+    """A MAC check failed: the ciphertext was forged or corrupted."""
+
+
+class PaddingError(CryptoError):
+    """PKCS#7 padding was malformed after decryption."""
+
+
+class KeyError_(CryptoError):
+    """A key had the wrong length, type, or usage."""
+
+
+class CodecError(ReproError):
+    """Wire-format encoding or decoding failed."""
+
+
+class NetworkError(ReproError):
+    """Base class for transport-level failures."""
+
+
+class ConnectionClosed(NetworkError):
+    """The peer endpoint is closed or unreachable."""
+
+
+class AddressInUse(NetworkError):
+    """An endpoint with the same address is already registered."""
+
+
+class ProtocolError(ReproError):
+    """Base class for protocol-layer failures."""
+
+
+class ProtocolViolation(ProtocolError):
+    """A received message violates the protocol rules.
+
+    Raised (and logged) when a message fails authentication, carries a
+    stale nonce, has the wrong label for the current state, or is
+    otherwise evidence of an attack or corruption.  Honest endpoints
+    *discard* such messages rather than crash; the exception type exists
+    so tests and attack tooling can observe exactly why a message was
+    rejected.
+    """
+
+
+class ReplayDetected(ProtocolViolation):
+    """A message carried a nonce that does not match the expected one."""
+
+
+class AuthenticationFailure(ProtocolViolation):
+    """Decryption/MAC check with the expected key failed."""
+
+
+class UnknownPeer(ProtocolError):
+    """The leader has no registered long-term key for this user."""
+
+
+class StateError(ProtocolError):
+    """The requested operation is not allowed in the current FSM state."""
+
+
+class AccessDenied(ProtocolError):
+    """The leader's access policy rejected a join request."""
+
+
+class FormalModelError(ReproError):
+    """Base class for errors in the symbolic formal model."""
+
+
+class PropertyViolation(FormalModelError):
+    """An invariant of Section 5 failed on a reachable state.
+
+    If this is ever raised by the explorer, either the model or the
+    protocol (or the paper!) is wrong; the attached ``state`` and
+    ``trace`` pinpoint the counterexample.
+    """
+
+    def __init__(self, message: str, state=None, trace=None) -> None:
+        super().__init__(message)
+        self.state = state
+        self.trace = trace
+
+
+class DiagramError(FormalModelError):
+    """A verification-diagram proof obligation failed."""
+
+    def __init__(self, message: str, state=None, successor=None) -> None:
+        super().__init__(message)
+        self.state = state
+        self.successor = successor
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation harness was misused."""

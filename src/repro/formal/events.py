@@ -1,0 +1,64 @@
+"""Events and traces (paper §4).
+
+A trace is a sequence of events; each event is either a message
+``Msg(label, sender, recipient, content)`` or an ``Oops(X)`` — "field X
+(typically a session key) is communicated to all agents".  Only the
+*contents* matter for knowledge and for the predicates of §5 (the label
+and addressing are unauthenticated claims); ``contents_of`` extracts the
+paper's ``trace(q)`` underline-set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.formal.fields import Field
+
+
+class MsgLabel(enum.Enum):
+    """Message labels of the improved protocol (§3.2)."""
+
+    AUTH_INIT_REQ = "AuthInitReq"
+    AUTH_KEY_DIST = "AuthKeyDist"
+    AUTH_ACK_KEY = "AuthAckKey"
+    ADMIN_MSG = "AdminMsg"
+    ACK = "Ack"
+    REQ_CLOSE = "ReqClose"
+    SPY = "Spy"  # a forged/injected message from a nontrusted agent
+
+
+@dataclass(frozen=True, slots=True)
+class Msg:
+    """A message event: label, apparent sender, intended recipient, content."""
+
+    label: MsgLabel
+    sender: str
+    recipient: str
+    content: Field
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.label.value}({self.sender}->{self.recipient}: "
+            f"{self.content!r})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Oops:
+    """An oops event: ``content`` becomes public (paper §4, after [11])."""
+
+    content: Field
+
+    def __repr__(self) -> str:
+        return f"Oops({self.content!r})"
+
+
+Event = Msg | Oops
+
+
+def contents_of(trace: tuple[Event, ...]) -> tuple[Field, ...]:
+    """The contents occurring in a trace (the paper's underlined trace)."""
+    return tuple(
+        e.content for e in trace
+    )

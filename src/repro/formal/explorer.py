@@ -1,0 +1,170 @@
+"""Bounded-exhaustive exploration of the protocol model.
+
+Breadth-first search over every interleaving allowed by the
+:class:`~repro.formal.model.ModelConfig` budgets, with:
+
+* state merging on :meth:`GlobalState.fingerprint` (two interleavings
+  that agree on local states, Parts(trace), spy knowledge, and logs are
+  one state),
+* invariant checking on every reached state,
+* per-edge hooks (used by the diagram checker to verify proof
+  obligations on each explored transition),
+* counterexample paths: the first violation is reported with the full
+  event sequence that reaches it.
+
+This is the model-checking counterpart of the paper's PVS induction:
+PVS proves invariance for all traces; the explorer verifies the same
+predicates on every state reachable within the budgets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import PropertyViolation
+from repro.formal.model import EnclavesModel, GlobalState, Transition
+from repro.formal.properties import ALL_CHECKS, Check
+
+#: Edge hooks get (model, source, transition) and return None or a message.
+EdgeHook = Callable[[EnclavesModel, GlobalState, Transition], "str | None"]
+
+
+@dataclass
+class Violation:
+    """A failed check with its counterexample."""
+
+    check: str
+    message: str
+    state: GlobalState
+    path: list[str]
+
+    def __str__(self) -> str:
+        steps = "\n  ".join(self.path) if self.path else "(initial state)"
+        return f"[{self.check}] {self.message}\n  path:\n  {steps}"
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    states_explored: int
+    transitions_explored: int
+    violations: list[Violation] = field(default_factory=list)
+    #: states per actor kind, for reporting
+    depth_reached: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_on_violation(self) -> None:
+        if self.violations:
+            v = self.violations[0]
+            raise PropertyViolation(str(v), state=v.state, trace=v.path)
+
+
+class Explorer:
+    """Breadth-first bounded-exhaustive explorer."""
+
+    def __init__(
+        self,
+        model: EnclavesModel,
+        checks: dict[str, Check] | None = None,
+        edge_hooks: list[EdgeHook] | None = None,
+        max_states: int = 500_000,
+        stop_on_first: bool = True,
+    ) -> None:
+        self.model = model
+        self.checks = checks if checks is not None else dict(ALL_CHECKS)
+        self.edge_hooks = list(edge_hooks or [])
+        self.max_states = max_states
+        self.stop_on_first = stop_on_first
+
+    def run(self, initial: Optional[GlobalState] = None) -> ExplorationResult:
+        """Explore all reachable states within the configured budgets."""
+        start = initial if initial is not None else self.model.initial_state()
+        result = ExplorationResult(states_explored=0, transitions_explored=0)
+
+        # parents: fingerprint -> (parent fingerprint, edge description)
+        parents: dict[tuple, tuple[tuple | None, str | None]] = {}
+        start_fp = start.fingerprint()
+        parents[start_fp] = (None, None)
+        visited: set[tuple] = {start_fp}
+        queue: deque[tuple[GlobalState, int]] = deque([(start, 0)])
+
+        self._check_state(start, start_fp, parents, result)
+        if result.violations and self.stop_on_first:
+            return result
+
+        while queue:
+            state, depth = queue.popleft()
+            result.depth_reached = max(result.depth_reached, depth)
+            state_fp = state.fingerprint()
+            for transition in self.model.successors(state):
+                result.transitions_explored += 1
+                for hook in self.edge_hooks:
+                    message = hook(self.model, state, transition)
+                    if message is not None:
+                        result.violations.append(
+                            Violation(
+                                check="edge",
+                                message=message,
+                                state=transition.target,
+                                path=self._path(parents, state_fp)
+                                + [transition.description],
+                            )
+                        )
+                        if self.stop_on_first:
+                            return result
+                fp = transition.target.fingerprint()
+                if fp in visited:
+                    continue
+                visited.add(fp)
+                parents[fp] = (state_fp, transition.description)
+                result.states_explored += 1
+                if result.states_explored > self.max_states:
+                    raise PropertyViolation(
+                        f"state budget exceeded ({self.max_states}); "
+                        "tighten the ModelConfig bounds"
+                    )
+                self._check_state(transition.target, fp, parents, result)
+                if result.violations and self.stop_on_first:
+                    return result
+                queue.append((transition.target, depth + 1))
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_state(
+        self,
+        state: GlobalState,
+        fp: tuple,
+        parents: dict,
+        result: ExplorationResult,
+    ) -> None:
+        for name, check in self.checks.items():
+            message = check(self.model, state)
+            if message is not None:
+                result.violations.append(
+                    Violation(
+                        check=name,
+                        message=message,
+                        state=state,
+                        path=self._path(parents, fp),
+                    )
+                )
+
+    @staticmethod
+    def _path(parents: dict, fp: tuple) -> list[str]:
+        """Reconstruct the event path to a state fingerprint."""
+        steps: list[str] = []
+        cursor = fp
+        while cursor is not None:
+            parent, description = parents[cursor]
+            if description is not None:
+                steps.append(description)
+            cursor = parent
+        steps.reverse()
+        return steps

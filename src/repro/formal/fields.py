@@ -1,0 +1,145 @@
+"""The message-field algebra 𝓕 of paper §4.
+
+    "Message contents are elements of the set of fields 𝓕 defined as
+     follows: agent identities, keys, and nonces are primitive fields.
+     Given two fields X and Y, their concatenation [X, Y] is a field.
+     Given a field X and a key K, the encryption of X with K, denoted
+     {X}_K, is a field."
+
+All terms are immutable and hashable, so they can live in the frozensets
+the knowledge operators work over.  Two kinds of keys exist, mirroring
+the paper: long-term keys ``P_a`` (:class:`LongTerm`) and session keys
+``K_a`` (:class:`SessionK`); both are symmetric.  :class:`Data` is an
+uninterpreted public payload constant (the ``X`` of AdminMsg) used to
+check ordering properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class Field:
+    """Base class for all symbolic fields."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Agent(Field):
+    """An agent identity (public)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class NonceF(Field):
+    """A nonce, identified by allocation index (unique per trace)."""
+
+    ident: int
+
+    def __repr__(self) -> str:
+        return f"N{self.ident}"
+
+
+@dataclass(frozen=True, slots=True)
+class SessionK(Field):
+    """A session key K, identified by allocation index."""
+
+    ident: int
+
+    def __repr__(self) -> str:
+        return f"K{self.ident}"
+
+
+@dataclass(frozen=True, slots=True)
+class LongTerm(Field):
+    """The long-term key P_a of an agent (password-derived)."""
+
+    agent: str
+
+    def __repr__(self) -> str:
+        return f"P({self.agent})"
+
+
+@dataclass(frozen=True, slots=True)
+class Data(Field):
+    """An uninterpreted, public payload constant (AdminMsg's X field)."""
+
+    ident: int
+
+    def __repr__(self) -> str:
+        return f"X{self.ident}"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Field):
+    """Concatenation [X1, ..., Xn] (n-ary for readability; the paper's
+    binary [X, Y] nests equivalently)."""
+
+    parts: tuple[Field, ...]
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(map(repr, self.parts)) + "]"
+
+
+@dataclass(frozen=True, slots=True)
+class Crypt(Field):
+    """Encryption {X}_K with a symmetric key."""
+
+    key: Field
+    body: Field
+
+    def __post_init__(self) -> None:
+        if not is_key(self.key):
+            raise TypeError(f"Crypt key must be a key field, got {self.key!r}")
+
+    def __repr__(self) -> str:
+        return f"{{{self.body!r}}}_{self.key!r}"
+
+
+KeyField = Union[SessionK, LongTerm]
+
+
+def is_key(field: Field) -> bool:
+    """True for the two key sorts (all keys are symmetric, §4)."""
+    return isinstance(field, (SessionK, LongTerm))
+
+
+def is_atomic(field: Field) -> bool:
+    """True for primitive fields (agents, nonces, keys, data)."""
+    return isinstance(field, (Agent, NonceF, SessionK, LongTerm, Data))
+
+
+def concat(*fields: Field) -> Concat:
+    """Build [X1, ..., Xn]."""
+    return Concat(tuple(fields))
+
+
+def crypt(key: Field, *body: Field) -> Crypt:
+    """Build {[X1, ..., Xn]}_K (single field is not wrapped)."""
+    if len(body) == 1:
+        return Crypt(key, body[0])
+    return Crypt(key, Concat(tuple(body)))
+
+
+def subfields(field: Field):
+    """Iterate over a field and all its subterms (including crypt keys).
+
+    Note: this is the *syntactic* subterm relation, used internally.
+    The paper's ``Parts`` (which does NOT descend into encryption keys)
+    lives in :mod:`repro.formal.knowledge`.
+    """
+    stack = [field]
+    while stack:
+        f = stack.pop()
+        yield f
+        if isinstance(f, Concat):
+            stack.extend(f.parts)
+        elif isinstance(f, Crypt):
+            stack.append(f.body)
+            stack.append(f.key)

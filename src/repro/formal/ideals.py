@@ -1,0 +1,67 @@
+"""Ideals and coideals (Millen-Rueß [10], used in paper §5.2).
+
+For a set of (atomic) secrets S, the ideal 𝓘(S) is the smallest set of
+fields such that
+
+* S ⊆ 𝓘(S),
+* if X ∈ 𝓘(S) or Y ∈ 𝓘(S) then [X, Y] ∈ 𝓘(S),
+* if X ∈ 𝓘(S) and K ∉ S then {X}_K ∈ 𝓘(S).
+
+𝓘(S) is exactly the set of fields *from which some secret in S could be
+extracted by an attacker who knows every key except those in S*.  The
+coideal 𝓒(S) is its complement; the §5.2 secrecy proof shows the trace
+stays inside 𝓒({K_a, P_a}) while K_a is in use.
+
+The ideal is infinite, so membership is decided recursively
+(:func:`in_ideal`).  The supporting lemmas the paper leans on —
+``Analz(𝓒(S)) = 𝓒(S)``, ``Synth(𝓒(S)) = 𝓒(S)``, and the Ideal-Parts
+lemma — are exercised as *properties* in the test suite (hypothesis
+checks them on random fields), which is the executable counterpart of
+citing [10].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.formal.fields import Concat, Crypt, Field
+
+
+def in_ideal(field: Field, secrets: frozenset[Field]) -> bool:
+    """Decide ``field ∈ 𝓘(secrets)``.
+
+    ``secrets`` must contain only atomic fields (keys/nonces): that is
+    the setting of the Millen-Rueß development and of the paper.
+    """
+    if field in secrets:
+        return True
+    if isinstance(field, Concat):
+        return any(in_ideal(p, secrets) for p in field.parts)
+    if isinstance(field, Crypt):
+        return field.key not in secrets and in_ideal(field.body, secrets)
+    return False
+
+
+def coideal_contains(field: Field, secrets: frozenset[Field]) -> bool:
+    """Decide ``field ∈ 𝓒(secrets)`` (the complement of the ideal)."""
+    return not in_ideal(field, secrets)
+
+
+def trace_in_coideal(
+    contents: Iterable[Field], secrets: frozenset[Field]
+) -> bool:
+    """Check ``trace ⊆ 𝓒(S)`` — the §5.2 inductive invariant (5)."""
+    return all(coideal_contains(f, secrets) for f in contents)
+
+
+def ideal_parts_lemma_applies(
+    fields: frozenset[Field], secrets: frozenset[Field]
+) -> bool:
+    """The Ideal-Parts lemma's premise: ``Parts(E) ∩ S = ∅``.
+
+    When it holds, E ⊆ 𝓒(S).  Exposed so tests can check the lemma
+    itself (premise ⇒ conclusion) on arbitrary field sets.
+    """
+    from repro.formal.knowledge import parts
+
+    return not (parts(fields) & secrets)

@@ -1,0 +1,171 @@
+"""Dolev-Yao knowledge operators: Parts, Analz, Synth (paper §4.2).
+
+    "Parts(S) is the set of fields and subfields that occur in S.
+     Analz(S) is the set of fields that can be extracted from elements
+     of S without breaking the cryptosystem.  Synth(S) is the set of
+     fields that can be constructed from elements of S by concatenation
+     and encryption."
+
+``parts`` and ``analz`` return finite closures as frozensets.  ``Synth``
+is infinite, so :func:`can_synth` is a membership decision procedure.
+:class:`KnowledgeState` maintains an analz-closure *incrementally* — the
+explorer adds one observed field at a time, which is far cheaper than
+recomputing the fixpoint per state.
+
+Definitions follow Paulson [11] / Millen-Rueß [10]:
+
+* ``Parts`` descends through concatenations and into encryption
+  *bodies*, but never yields an encryption's *key* (a ciphertext does
+  not expose which key made it).
+* ``Analz`` descends through concatenations, and into an encryption's
+  body only when the key is already in the closure.
+* ``Synth`` builds concatenations from synthesizable parts and
+  encryptions whose key is *known* (in the set, not merely
+  synthesizable — keys are atomic).  Agent identities and data constants
+  are public, hence always synthesizable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.formal.fields import (
+    Agent,
+    Concat,
+    Crypt,
+    Data,
+    Field,
+    is_key,
+)
+
+
+def parts(fields: Iterable[Field]) -> frozenset[Field]:
+    """The Parts closure: every field and subfield occurring in S."""
+    result: set[Field] = set()
+    stack = list(fields)
+    while stack:
+        f = stack.pop()
+        if f in result:
+            continue
+        result.add(f)
+        if isinstance(f, Concat):
+            stack.extend(f.parts)
+        elif isinstance(f, Crypt):
+            stack.append(f.body)  # the key is NOT a part
+    return frozenset(result)
+
+
+def analz(fields: Iterable[Field]) -> frozenset[Field]:
+    """The Analz closure: what can be extracted without breaking crypto."""
+    state = KnowledgeState.empty()
+    for f in fields:
+        state = state.add(f)
+    return state.accessible
+
+
+def can_synth(target: Field, known: frozenset[Field]) -> bool:
+    """Decide ``target ∈ Synth(known)``.
+
+    ``known`` should be analz-closed (e.g., ``KnowledgeState.accessible``)
+    for the intended Dolev-Yao meaning ``Synth(Analz(...))``.
+    """
+    if target in known:
+        return True
+    if isinstance(target, (Agent, Data)):
+        return True  # public constants
+    if isinstance(target, Concat):
+        return all(can_synth(p, known) for p in target.parts)
+    if isinstance(target, Crypt):
+        # The key must itself be known; keys are atomic so "in known"
+        # and "synthesizable" coincide for them.
+        return target.key in known and can_synth(target.body, known)
+    # Nonces and keys not in the knowledge set cannot be conjured.
+    return False
+
+
+class KnowledgeState:
+    """An incrementally maintained Analz closure.
+
+    ``accessible`` is the analz-closed set of fields derivable so far.
+    ``locked`` maps each key K to ciphertexts {X}_K seen whose key is
+    not (yet) accessible; when K later becomes accessible, those bodies
+    unlock.  Instances are immutable; :meth:`add` returns a new state
+    (sharing is fine because the underlying sets are never mutated after
+    construction).
+    """
+
+    __slots__ = ("accessible", "locked", "_hash")
+
+    def __init__(
+        self,
+        accessible: frozenset[Field],
+        locked: "frozenset[tuple[Field, Field]]",
+    ) -> None:
+        self.accessible = accessible
+        #: frozenset of (key, body) pairs not yet openable.
+        self.locked = locked
+        self._hash: int | None = None
+
+    @classmethod
+    def empty(cls) -> "KnowledgeState":
+        return cls(frozenset(), frozenset())
+
+    @classmethod
+    def from_fields(cls, fields: Iterable[Field]) -> "KnowledgeState":
+        state = cls.empty()
+        for f in fields:
+            state = state.add(f)
+        return state
+
+    def add(self, field: Field) -> "KnowledgeState":
+        """Return the closure after observing ``field``."""
+        if field in self.accessible:
+            return self
+        accessible = set(self.accessible)
+        locked = set(self.locked)
+        pending = [field]
+        while pending:
+            f = pending.pop()
+            if f in accessible:
+                continue
+            accessible.add(f)
+            if isinstance(f, Concat):
+                pending.extend(f.parts)
+            elif isinstance(f, Crypt):
+                if f.key in accessible:
+                    pending.append(f.body)
+                else:
+                    locked.add((f.key, f.body))
+            if is_key(f):
+                # A newly accessible key may unlock stored ciphertexts.
+                for key, body in list(locked):
+                    if key == f:
+                        locked.discard((key, body))
+                        pending.append(body)
+        return KnowledgeState(frozenset(accessible), frozenset(locked))
+
+    def knows(self, field: Field) -> bool:
+        """``field ∈ Analz(observed)``."""
+        return field in self.accessible
+
+    def can_generate(self, field: Field) -> bool:
+        """``field ∈ Synth(Analz(observed))`` — no fresh values."""
+        return can_synth(field, self.accessible)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, KnowledgeState)
+            and self.accessible == other.accessible
+            and self.locked == other.locked
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.accessible, self.locked))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeState({len(self.accessible)} accessible, "
+            f"{len(self.locked)} locked)"
+        )

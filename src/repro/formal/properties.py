@@ -1,0 +1,174 @@
+"""The §5 theorems as executable invariants.
+
+Each check takes a :class:`~repro.formal.model.GlobalState` and returns
+``None`` if the property holds there, or a human-readable violation
+string.  The explorer evaluates every check on every reached state; a
+non-None result becomes a :class:`~repro.exceptions.PropertyViolation`
+with the counterexample path attached.
+
+Paper §5 properties covered:
+
+* ``check_regularity``       — §5.1: P_a never occurs in the trace.
+* ``check_longterm_secrecy`` — §5.1: only A and L know P_a.
+* ``check_session_secrecy``  — §5.2 Proposition 3: while K_a is in use,
+  only A and L know it.
+* ``check_coideal_invariant``— §5.2 invariant (5): while K_a is in use,
+  the trace stays within 𝓒({K_a, P_a}).
+* ``check_prefix``           — §5.4: rcv_A is a prefix of snd_A (order +
+  no duplication of admin messages).
+* ``check_authentication``   — §5.4: L's acceptance list is a prefix of
+  A's request list (proper user authentication).
+* ``check_agreement``        — §5.4: when both are Connected they agree
+  on the session key and A's latest nonce.
+* ``check_user_key_in_use``  — §5.4: whenever A holds K_a, InUse(K_a).
+* ``check_no_duplicates``    — no admin payload is accepted twice
+  (implied by the prefix property given distinct Data payloads; checked
+  directly for defense in depth).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.formal.ideals import trace_in_coideal
+from repro.formal.model import (
+    EnclavesModel,
+    GlobalState,
+    LConnected,
+    LWaitingForAck,
+    LWaitingForKeyAck,
+    UConnected,
+)
+
+Check = Callable[[EnclavesModel, GlobalState], "str | None"]
+
+
+def check_regularity(model: EnclavesModel, state: GlobalState) -> str | None:
+    """P_a ∉ Parts(trace) — the Regularity Lemma's conclusion (§5.1)."""
+    if model.Pa in state.trace_parts:
+        return "regularity violated: P_a occurs in the trace"
+    return None
+
+
+def check_longterm_secrecy(model: EnclavesModel, state: GlobalState) -> str | None:
+    """P_a ∉ Know(Spy, q) (§5.1)."""
+    if state.spy.knows(model.Pa):
+        return "long-term key secrecy violated: spy knows P_a"
+    return None
+
+
+def check_session_secrecy(model: EnclavesModel, state: GlobalState) -> str | None:
+    """While K_a is in use for A, the spy does not know it (§5.2 Prop. 3).
+
+    Keys of the compromised member C are *expected* to be spy-known, so
+    only A-session keys are constrained — exactly the paper's statement,
+    which protects a non-compromised A.
+    """
+    lead = state.lead
+    if isinstance(lead, (LWaitingForKeyAck, LConnected, LWaitingForAck)):
+        if state.spy.knows(lead.key):
+            return f"session key secrecy violated: spy knows {lead.key!r} in use"
+    return None
+
+
+def check_coideal_invariant(model: EnclavesModel, state: GlobalState) -> str | None:
+    """InUse(K_a) ⇒ trace ⊆ 𝓒({K_a, P_a}) — invariant (5) of §5.2.
+
+    The check ranges over the message *contents* of the trace (the
+    paper's underlined trace(q)), not over all Parts — an encrypted body
+    containing K_a is allowed precisely when its enclosing ciphertext is
+    keyed by a secret, which is what the ideal's definition encodes.
+    """
+    lead = state.lead
+    if isinstance(lead, (LWaitingForKeyAck, LConnected, LWaitingForAck)):
+        secrets = frozenset({lead.key, model.Pa})
+        if not trace_in_coideal(state.contents, secrets):
+            return (
+                f"coideal invariant violated for secrets {{{lead.key!r}, P_a}}"
+            )
+    return None
+
+
+def check_prefix(model: EnclavesModel, state: GlobalState) -> str | None:
+    """rcv_A is a prefix of snd_A (§5.4).
+
+    This single property packages the paper's Proper Distribution
+    requirement: every accepted admin message was sent by L, in the same
+    order, without duplicates.
+    """
+    if len(state.rcv) > len(state.snd):
+        return f"rcv longer than snd: {state.rcv} vs {state.snd}"
+    if state.snd[: len(state.rcv)] != state.rcv:
+        return f"rcv is not a prefix of snd: {state.rcv} vs {state.snd}"
+    return None
+
+
+def check_authentication(model: EnclavesModel, state: GlobalState) -> str | None:
+    """L's acceptance list is a prefix of A's request list (§5.4):
+    the nth AuthAckKey accepted by L was preceded by the nth
+    AuthInitReq from A."""
+    if len(state.accept_log) > len(state.request_log):
+        return "more acceptances than join requests"
+    if state.request_log[: len(state.accept_log)] != state.accept_log:
+        return (
+            f"acceptances {state.accept_log} not a prefix of "
+            f"requests {state.request_log}"
+        )
+    return None
+
+
+def check_agreement(model: EnclavesModel, state: GlobalState) -> str | None:
+    """Both Connected ⇒ same nonce and same key (§5.4)."""
+    if isinstance(state.usr, UConnected) and isinstance(state.lead, LConnected):
+        if state.usr.nonce != state.lead.nonce or state.usr.key != state.lead.key:
+            return (
+                f"agreement violated: user ({state.usr.nonce!r}, "
+                f"{state.usr.key!r}) vs leader ({state.lead.nonce!r}, "
+                f"{state.lead.key!r})"
+            )
+    return None
+
+
+def check_user_key_in_use(model: EnclavesModel, state: GlobalState) -> str | None:
+    """A holds K_a ⇒ InUse(K_a, q) (§5.4): the leader also holds it."""
+    if isinstance(state.usr, UConnected):
+        if not EnclavesModel.in_use(state, state.usr.key):
+            return (
+                f"user holds {state.usr.key!r} but the leader does not "
+                "have it in use"
+            )
+    return None
+
+
+def check_inuse_in_trace(model: EnclavesModel, state: GlobalState) -> str | None:
+    """Lemma 1 of §5.2: InUse(K_a, q) ⇒ K_a ∈ Parts(trace).
+
+    "Once K_a is in use, it is no longer fresh and thus any key that
+    nontrusted agents might generate in the future will be distinct."
+    """
+    for key in model.session_keys_in_use(state):
+        if key not in state.trace_parts:
+            return f"Lemma 1 violated: {key!r} in use but not in Parts(trace)"
+    return None
+
+
+def check_no_duplicates(model: EnclavesModel, state: GlobalState) -> str | None:
+    """No admin payload accepted twice within a session."""
+    if len(set(state.rcv)) != len(state.rcv):
+        return f"duplicate admin payload accepted: {state.rcv}"
+    return None
+
+
+#: The default invariant suite, in the order the paper establishes them.
+ALL_CHECKS: dict[str, Check] = {
+    "regularity": check_regularity,
+    "longterm_secrecy": check_longterm_secrecy,
+    "session_secrecy": check_session_secrecy,
+    "coideal_invariant": check_coideal_invariant,
+    "prefix": check_prefix,
+    "authentication": check_authentication,
+    "agreement": check_agreement,
+    "user_key_in_use": check_user_key_in_use,
+    "inuse_in_trace": check_inuse_in_trace,
+    "no_duplicates": check_no_duplicates,
+}

@@ -1,0 +1,111 @@
+"""One-call verification of the improved protocol.
+
+:func:`verify_protocol` runs the §5 pipeline end to end:
+
+1. the invariant suite (regularity, secrecy, coideal invariant, prefix,
+   authentication, agreement) on every reachable state,
+2. the Figure 4 diagram obligations on every explored transition,
+3. diagram coverage (every state in some box) and the Q1 initial
+   obligation,
+
+within the bounds of a :class:`~repro.formal.model.ModelConfig`, and
+returns a :class:`VerificationReport` summarizing what was checked.
+This powers ``examples/formal_verification.py`` and the FIG-4/THM-5.x
+reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.formal import diagram as diagram_mod
+from repro.formal.explorer import Explorer, Violation
+from repro.formal.model import EnclavesModel, ModelConfig
+from repro.formal.properties import ALL_CHECKS
+
+
+@dataclass
+class VerificationReport:
+    """Summary of a verification run."""
+
+    config: ModelConfig
+    states_explored: int
+    transitions_explored: int
+    checks_run: tuple[str, ...]
+    diagram_boxes: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ALL PROPERTIES HOLD" if self.ok else "VIOLATIONS FOUND"
+        lines = [
+            f"verification: {status}",
+            f"  bounds: sessions={self.config.max_sessions} "
+            f"admin={self.config.max_admin} spy={self.config.spy_budget} "
+            f"compromised_member={self.config.compromised_member}",
+            f"  states explored:      {self.states_explored}",
+            f"  transitions explored: {self.transitions_explored}",
+            f"  invariants checked:   {', '.join(self.checks_run)}",
+            f"  diagram boxes:        {self.diagram_boxes} "
+            "(coverage + successor obligations on every edge)",
+        ]
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+def verify_protocol(
+    config: ModelConfig | None = None,
+    include_diagram: bool = True,
+    stop_on_first: bool = True,
+    max_states: int = 500_000,
+) -> VerificationReport:
+    """Explore the model and check every §5 property.
+
+    Returns the report; callers decide whether to raise (see
+    :meth:`~repro.formal.explorer.ExplorationResult.raise_on_violation`).
+    """
+    config = config if config is not None else ModelConfig()
+    model = EnclavesModel(config)
+
+    checks = dict(ALL_CHECKS)
+    edge_hooks = []
+    if include_diagram:
+        checks["diagram_coverage"] = diagram_mod.check_coverage
+        edge_hooks.append(diagram_mod.check_obligation)
+
+    explorer = Explorer(
+        model,
+        checks=checks,
+        edge_hooks=edge_hooks,
+        max_states=max_states,
+        stop_on_first=stop_on_first,
+    )
+    violations: list[Violation] = []
+    if include_diagram:
+        initial_message = diagram_mod.initial_obligation(
+            model, model.initial_state()
+        )
+        if initial_message is not None:
+            violations.append(
+                Violation(
+                    check="diagram_initial",
+                    message=initial_message,
+                    state=model.initial_state(),
+                    path=[],
+                )
+            )
+
+    result = explorer.run()
+    violations.extend(result.violations)
+    return VerificationReport(
+        config=config,
+        states_explored=result.states_explored,
+        transitions_explored=result.transitions_explored,
+        checks_run=tuple(checks),
+        diagram_boxes=len(diagram_mod.DIAGRAM),
+        violations=violations,
+    )

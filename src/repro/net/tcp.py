@@ -1,0 +1,176 @@
+"""TCP transport.
+
+Runs the same :class:`~repro.net.transport.Endpoint` interface over real
+sockets so the examples can span processes.  Topology matches the paper's
+architecture (Figure 1): the *leader* listens; each member dials the
+leader and the resulting bidirectional stream is the member's
+point-to-point link.  Frames are length-prefixed envelopes.
+
+This transport is honest plumbing — the adversarial behaviours live in
+:mod:`repro.net.memnet`/:mod:`repro.net.adversary`; over TCP the attacker
+role can simply be played by another client sending forged envelopes,
+since the leader trusts nothing about an envelope header anyway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.exceptions import ConnectionClosed
+from repro.net.transport import Endpoint, Transport
+from repro.wire.message import Envelope
+
+_MAX_FRAME = 1 << 24
+
+
+async def write_frame(writer: asyncio.StreamWriter, envelope: Envelope) -> None:
+    """Write one length-prefixed envelope."""
+    payload = envelope.to_bytes()
+    writer.write(struct.pack(">I", len(payload)) + payload)
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Envelope:
+    """Read one length-prefixed envelope."""
+    try:
+        header = await reader.readexactly(4)
+        (length,) = struct.unpack(">I", header)
+        if length > _MAX_FRAME:
+            raise ConnectionClosed("oversized frame")
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("stream ended") from exc
+    return Envelope.from_bytes(payload)
+
+
+class TcpLeaderEndpoint(Endpoint):
+    """The leader's endpoint: a TCP server accepting member links.
+
+    Incoming frames from all links are merged into one receive queue
+    (the leader's mailbox).  Outgoing frames are routed to the link whose
+    peer last claimed the envelope's recipient address; unroutable frames
+    are dropped, as on an insecure network.
+    """
+
+    def __init__(self, address: str) -> None:
+        self._address = address
+        self._queue: asyncio.Queue[Envelope] = asyncio.Queue()
+        self._links: dict[str, asyncio.StreamWriter] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    async def start(self, host: str, port: int) -> None:
+        """Begin listening for member connections."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+
+    @property
+    def port(self) -> int:
+        """The actual listening port (useful with port 0)."""
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer_addr: str | None = None
+        try:
+            while True:
+                envelope = await read_frame(reader)
+                # Learn/refresh the claimed address for return routing.
+                if envelope.sender:
+                    peer_addr = envelope.sender
+                    self._links[peer_addr] = writer
+                self._queue.put_nowait(envelope)
+        except (ConnectionClosed, Exception):
+            pass
+        finally:
+            if peer_addr is not None and self._links.get(peer_addr) is writer:
+                del self._links[peer_addr]
+            writer.close()
+
+    async def send(self, envelope: Envelope) -> None:
+        if self._closed:
+            raise ConnectionClosed("leader endpoint closed")
+        writer = self._links.get(envelope.recipient)
+        if writer is None:
+            return  # unroutable -> dropped
+        try:
+            await write_frame(writer, envelope)
+        except (ConnectionResetError, OSError):
+            self._links.pop(envelope.recipient, None)
+
+    async def recv(self) -> Envelope:
+        if self._closed:
+            raise ConnectionClosed("leader endpoint closed")
+        return await self._queue.get()
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._links.values():
+            writer.close()
+        self._links.clear()
+
+
+class TcpMemberEndpoint(Endpoint):
+    """A member's endpoint: one TCP connection to the leader."""
+
+    def __init__(self, address: str) -> None:
+        self._address = address
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    async def connect(self, host: str, port: int) -> None:
+        """Dial the leader."""
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+
+    async def send(self, envelope: Envelope) -> None:
+        if self._closed or self._writer is None:
+            raise ConnectionClosed("member endpoint closed")
+        await write_frame(self._writer, envelope)
+
+    async def recv(self) -> Envelope:
+        if self._closed or self._reader is None:
+            raise ConnectionClosed("member endpoint closed")
+        return await read_frame(self._reader)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+
+
+class TcpTransport(Transport):
+    """Transport facade used by the examples.
+
+    ``attach(leader_id)`` must be called first to start the server; later
+    ``attach`` calls dial it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._port = port
+        self._leader: TcpLeaderEndpoint | None = None
+
+    async def attach(self, address: str) -> Endpoint:
+        if self._leader is None:
+            leader = TcpLeaderEndpoint(address)
+            await leader.start(self._host, self._port)
+            self._port = leader.port
+            self._leader = leader
+            return leader
+        member = TcpMemberEndpoint(address)
+        await member.connect(self._host, self._port)
+        return member

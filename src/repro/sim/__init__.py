@@ -1,0 +1,33 @@
+"""Discrete-event simulation harness.
+
+The paper has no performance evaluation, but a credible release needs a
+way to characterize the protocol's behaviour at scale: join/leave churn,
+rekey storms under different policies, admin-channel throughput vs.
+group size.  This package provides a small deterministic discrete-event
+engine (:mod:`~repro.sim.engine`), workload generators
+(:mod:`~repro.sim.workload`), metric collection
+(:mod:`~repro.sim.metrics`), and ready-made scenarios
+(:mod:`~repro.sim.scenarios`) on top of the sans-IO protocol cores.
+"""
+
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.metrics import LatencyRecorder, MetricSet
+from repro.sim.scenarios import ChurnScenario, ChurnReport, run_churn
+from repro.sim.workload import (
+    ChurnWorkload,
+    MessageWorkload,
+    WorkloadEvent,
+)
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "MetricSet",
+    "LatencyRecorder",
+    "ChurnWorkload",
+    "MessageWorkload",
+    "WorkloadEvent",
+    "ChurnScenario",
+    "ChurnReport",
+    "run_churn",
+]

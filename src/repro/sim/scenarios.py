@@ -1,0 +1,159 @@
+"""Ready-made simulation scenarios.
+
+:func:`run_churn` drives a full improved-protocol group through a
+join/leave/message workload on the discrete-event engine and reports
+rekey counts, relay volume, membership-view consistency, and admin-
+channel latencies.  This is what `bench_rekey` sweeps across policies
+and group sizes (the paper's "application-dependent policy" knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import RekeyPolicy, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricSet
+from repro.sim.workload import ChurnWorkload, MessageWorkload, WorkloadKind
+
+
+@dataclass
+class ChurnScenario:
+    """Parameters for a churn simulation."""
+
+    n_users: int = 8
+    duration: float = 60.0
+    join_rate: float = 0.5
+    mean_session: float = 20.0
+    message_rate: float = 2.0
+    rekey_policy: RekeyPolicy = RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE
+    rekey_interval: float = 10.0
+    seed: int = 0
+
+
+@dataclass
+class ChurnReport:
+    """Results of one churn simulation."""
+
+    scenario: ChurnScenario
+    metrics: MetricSet
+    final_members: list[str] = field(default_factory=list)
+    views_consistent: bool = True
+    rekeys: int = 0
+    relayed: int = 0
+    joins: int = 0
+    leaves: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"churn(n={self.scenario.n_users}, policy="
+            f"{self.scenario.rekey_policy}): joins={self.joins} "
+            f"leaves={self.leaves} rekeys={self.rekeys} "
+            f"relayed={self.relayed} consistent={self.views_consistent}"
+        )
+
+
+def run_churn(scenario: ChurnScenario) -> ChurnReport:
+    """Run one churn scenario to completion."""
+    rng = DeterministicRandom(scenario.seed)
+    sim = Simulator()
+    net = SyncNetwork()
+    metrics = MetricSet()
+
+    directory = UserDirectory()
+    leader = GroupLeader(
+        "leader",
+        directory,
+        config=LeaderConfig(
+            rekey_policy=scenario.rekey_policy,
+            rekey_interval=scenario.rekey_interval,
+        ),
+        rng=rng.fork("leader"),
+        clock=sim.clock,
+    )
+    wire(net, "leader", leader)
+
+    user_ids = [f"user-{i:02d}" for i in range(scenario.n_users)]
+    members: dict[str, MemberProtocol] = {}
+    for user_id in user_ids:
+        creds = directory.register_password(user_id, f"pw-{user_id}")
+        member = MemberProtocol(creds, "leader", rng.fork(user_id))
+        members[user_id] = member
+        wire(net, user_id, member)
+
+    def pump() -> None:
+        net.run()
+
+    # Schedule the workload.
+    churn = ChurnWorkload(
+        user_ids,
+        join_rate=scenario.join_rate,
+        mean_session=scenario.mean_session,
+        seed=scenario.seed,
+    )
+    for event in churn.events(scenario.duration):
+        member = members[event.user_id]
+        if event.kind is WorkloadKind.JOIN:
+            def do_join(m=member, t=event.time) -> None:
+                if m.state is MemberState.NOT_CONNECTED:
+                    metrics.incr("workload_joins")
+                    net.post(m.start_join())
+                    pump()
+            sim.at(event.time, do_join)
+        else:
+            def do_leave(m=member) -> None:
+                if m.state is MemberState.CONNECTED:
+                    metrics.incr("workload_leaves")
+                    net.post(m.start_leave())
+                    pump()
+            sim.at(event.time, do_leave)
+
+    # Message traffic: connected members chat; others skip their turn.
+    traffic = MessageWorkload(
+        user_ids, rate=scenario.message_rate, seed=scenario.seed + 1
+    )
+    for event in traffic.events(scenario.duration):
+        member = members[event.user_id]
+
+        def do_send(m=member, payload=event.payload) -> None:
+            if m.state is MemberState.CONNECTED and m.has_group_key:
+                metrics.incr("messages_sent")
+                net.post(m.seal_app(payload))
+                pump()
+        sim.at(event.time, do_send)
+
+    # Periodic leader ticks for time-based rekeying.
+    if RekeyPolicy.PERIODIC in scenario.rekey_policy:
+        def tick() -> None:
+            net.post_all(leader.tick())
+            pump()
+            if sim.now < scenario.duration:
+                sim.after(scenario.rekey_interval / 4, tick)
+        sim.after(scenario.rekey_interval / 4, tick)
+
+    sim.run(until=scenario.duration)
+    pump()
+
+    # Consistency: every connected member's view equals the leader's.
+    leader_view = set(leader.members)
+    consistent = all(
+        members[uid].membership == leader_view
+        for uid in leader.members
+        if members[uid].state is MemberState.CONNECTED
+    )
+
+    report = ChurnReport(
+        scenario=scenario,
+        metrics=metrics,
+        final_members=leader.members,
+        views_consistent=consistent,
+        rekeys=leader.stats.rekeys,
+        relayed=leader.stats.relayed_frames,
+        joins=leader.stats.joins,
+        leaves=leader.stats.leaves,
+    )
+    return report

@@ -1,0 +1,19 @@
+"""Low-level utilities shared across the library."""
+
+from repro.util.bytesops import (
+    constant_time_eq,
+    pkcs7_pad,
+    pkcs7_unpad,
+    xor_bytes,
+)
+from repro.util.clock import Clock, RealClock, VirtualClock
+
+__all__ = [
+    "constant_time_eq",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "xor_bytes",
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+]

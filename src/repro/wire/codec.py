@@ -1,0 +1,104 @@
+"""Canonical binary encoding.
+
+The formal model treats message contents as fields built by concatenation
+and encryption.  For the concrete protocol those concatenations must be
+*injective*: two different tuples of byte strings must never encode to
+the same bytes, or an attacker could shift boundaries to confuse an
+endpoint (a classic concrete-protocol bug that symbolic models assume
+away).  ``encode_fields``/``decode_fields`` give that guarantee with
+4-byte length prefixes.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import CodecError
+
+MAX_FIELD_LEN = 1 << 24  # 16 MiB per field: generous but bounded
+
+
+def encode_u32(value: int) -> bytes:
+    """Encode an unsigned 32-bit integer big-endian."""
+    if not 0 <= value < (1 << 32):
+        raise CodecError(f"u32 out of range: {value}")
+    return struct.pack(">I", value)
+
+
+def decode_u32(data: bytes) -> int:
+    """Decode a 4-byte big-endian unsigned integer."""
+    if len(data) != 4:
+        raise CodecError("u32 must be exactly 4 bytes")
+    return struct.unpack(">I", data)[0]
+
+
+def encode_fields(fields: Iterable[bytes]) -> bytes:
+    """Encode a sequence of byte strings injectively.
+
+    Layout: ``count:u32 (len:u32 body)*`` — unambiguous and
+    self-delimiting, so decoding is a total inverse on valid inputs.
+    """
+    parts = []
+    count = 0
+    for f in fields:
+        if not isinstance(f, (bytes, bytearray)):
+            raise CodecError(f"field must be bytes, got {type(f).__name__}")
+        if len(f) > MAX_FIELD_LEN:
+            raise CodecError("field too long")
+        parts.append(encode_u32(len(f)) + bytes(f))
+        count += 1
+    return encode_u32(count) + b"".join(parts)
+
+
+def decode_fields(data: bytes, expect: int | None = None) -> list[bytes]:
+    """Decode :func:`encode_fields` output.
+
+    ``expect`` asserts the field count, turning malformed or truncated
+    input into a :class:`CodecError` instead of an index error later.
+    Trailing garbage is rejected: the encoding must consume all input.
+    """
+    if len(data) < 4:
+        raise CodecError("truncated field list (missing count)")
+    count = decode_u32(data[:4])
+    offset = 4
+    fields: list[bytes] = []
+    for _ in range(count):
+        if offset + 4 > len(data):
+            raise CodecError("truncated field list (missing length)")
+        length = decode_u32(data[offset:offset + 4])
+        offset += 4
+        if length > MAX_FIELD_LEN:
+            raise CodecError("field too long")
+        if offset + length > len(data):
+            raise CodecError("truncated field body")
+        fields.append(data[offset:offset + length])
+        offset += length
+    if offset != len(data):
+        raise CodecError("trailing bytes after field list")
+    if expect is not None and count != expect:
+        raise CodecError(f"expected {expect} fields, got {count}")
+    return fields
+
+
+def encode_str(s: str) -> bytes:
+    """UTF-8 encode a string field."""
+    return s.encode("utf-8")
+
+
+def decode_str(data: bytes) -> str:
+    """UTF-8 decode a string field."""
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError("field is not valid UTF-8") from exc
+
+
+def encode_str_list(items: Sequence[str]) -> bytes:
+    """Encode a list of strings as a nested field list."""
+    return encode_fields(encode_str(s) for s in items)
+
+
+def decode_str_list(data: bytes) -> list[str]:
+    """Decode :func:`encode_str_list` output."""
+    return [decode_str(f) for f in decode_fields(data)]

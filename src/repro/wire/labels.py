@@ -1,0 +1,50 @@
+"""Message labels.
+
+Each wire message carries a label identifying its type.  The improved
+protocol (paper §3.2) uses AUTH_INIT_REQ, AUTH_KEY_DIST, AUTH_ACK_KEY,
+ADMIN_MSG, ACK, and REQ_CLOSE.  The legacy protocol (paper §2.2) uses the
+REQ_OPEN family.  Both sets live in one enum because an attacker is free
+to send any label to any endpoint, and endpoints must handle (discard)
+labels they do not expect.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Label(enum.IntEnum):
+    """Wire message type tags (one byte on the wire)."""
+
+    # -- improved (intrusion-tolerant) protocol, paper §3.2 ------------
+    AUTH_INIT_REQ = 0x01
+    AUTH_KEY_DIST = 0x02
+    AUTH_ACK_KEY = 0x03
+    ADMIN_MSG = 0x04
+    ACK = 0x05
+    REQ_CLOSE = 0x06
+
+    # -- legacy protocol, paper §2.2 ------------------------------------
+    REQ_OPEN = 0x10
+    ACK_OPEN = 0x11
+    CONNECTION_DENIED = 0x12
+    LEGACY_AUTH_1 = 0x13
+    LEGACY_AUTH_2 = 0x14
+    LEGACY_AUTH_3 = 0x15
+    NEW_KEY = 0x16
+    NEW_KEY_ACK = 0x17
+    REQ_CLOSE_LEGACY = 0x18
+    CLOSE_CONNECTION = 0x19
+    MEM_ADDED = 0x1A
+    MEM_REMOVED = 0x1B
+
+    # -- application data (relayed through the leader, both stacks) ----
+    APP_DATA = 0x20
+
+    @property
+    def is_legacy(self) -> bool:
+        return 0x10 <= self.value <= 0x1B
+
+    @property
+    def is_itgm(self) -> bool:
+        return 0x01 <= self.value <= 0x06

@@ -1,0 +1,57 @@
+"""The message envelope.
+
+The formal model (paper §4) says: "Each message consists of a label, an
+apparent sender, an intended recipient, and a content."  The sender and
+recipient fields are *claims* — the network is insecure, so nothing about
+an envelope is trustworthy until the cryptographic content inside has
+been verified.  Endpoints route on the envelope but authenticate only on
+the sealed body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CodecError
+from repro.wire.codec import decode_fields, decode_str, encode_fields, encode_str
+from repro.wire.labels import Label
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One wire message: (label, apparent sender, intended recipient, body)."""
+
+    label: Label
+    sender: str
+    recipient: str
+    body: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the canonical wire form."""
+        return encode_fields(
+            [bytes([self.label.value]), encode_str(self.sender),
+             encode_str(self.recipient), self.body]
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope":
+        """Parse a wire message, raising :class:`CodecError` if malformed."""
+        label_b, sender_b, recipient_b, body = decode_fields(data, expect=4)
+        if len(label_b) != 1:
+            raise CodecError("label must be one byte")
+        try:
+            label = Label(label_b[0])
+        except ValueError as exc:
+            raise CodecError(f"unknown label {label_b[0]:#x}") from exc
+        return cls(
+            label=label,
+            sender=decode_str(sender_b),
+            recipient=decode_str(recipient_b),
+            body=body,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope({self.label.name}, {self.sender!r}->{self.recipient!r}, "
+            f"{len(self.body)}B)"
+        )

@@ -1,0 +1,99 @@
+"""Tests for the from-scratch Diffie-Hellman."""
+
+import pytest
+
+from repro.crypto.dh import (
+    MODP_2048_G,
+    MODP_2048_P,
+    DHKeyPair,
+    derive_pairwise_long_term_key,
+    generate_keypair,
+    shared_secret,
+    validate_public_key,
+)
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import CryptoError
+
+
+class TestGroupParameters:
+    def test_p_is_the_rfc3526_prime(self):
+        assert MODP_2048_P.bit_length() == 2048
+        # Safe prime: (p-1)/2 must be odd (p ≡ 3 mod 4 for this group).
+        assert MODP_2048_P % 4 == 3
+
+    def test_generator(self):
+        assert MODP_2048_G == 2
+
+
+class TestKeypairs:
+    def test_deterministic_generation(self):
+        a = generate_keypair(DeterministicRandom(1))
+        b = generate_keypair(DeterministicRandom(1))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_keypair(DeterministicRandom(1))
+        b = generate_keypair(DeterministicRandom(2))
+        assert a.public != b.public
+
+    def test_public_matches_private(self):
+        pair = generate_keypair(DeterministicRandom(3))
+        assert pair.public == pow(MODP_2048_G, pair.private, MODP_2048_P)
+
+    def test_repr_hides_private(self):
+        pair = generate_keypair(DeterministicRandom(4))
+        assert str(pair.private) not in repr(pair)
+
+
+class TestAgreement:
+    def test_both_sides_agree(self):
+        alice = generate_keypair(DeterministicRandom(10))
+        leader = generate_keypair(DeterministicRandom(11))
+        assert shared_secret(alice, leader.public) == shared_secret(
+            leader, alice.public
+        )
+
+    def test_different_pairs_different_secrets(self):
+        alice = generate_keypair(DeterministicRandom(10))
+        bob = generate_keypair(DeterministicRandom(12))
+        leader = generate_keypair(DeterministicRandom(11))
+        assert shared_secret(alice, leader.public) != shared_secret(
+            bob, leader.public
+        )
+
+    def test_public_key_validation(self):
+        for bad in (0, 1, MODP_2048_P - 1, MODP_2048_P, MODP_2048_P + 5, -3):
+            with pytest.raises(CryptoError):
+                validate_public_key(bad)
+        validate_public_key(2)  # smallest acceptable
+
+    def test_shared_secret_rejects_bad_peer(self):
+        alice = generate_keypair(DeterministicRandom(10))
+        with pytest.raises(CryptoError):
+            shared_secret(alice, 1)
+
+    def test_fixed_width_encoding(self):
+        alice = generate_keypair(DeterministicRandom(10))
+        leader = generate_keypair(DeterministicRandom(11))
+        assert len(shared_secret(alice, leader.public)) == 256
+
+
+class TestPairwiseKeyDerivation:
+    def test_both_sides_derive_same_pa(self):
+        alice = generate_keypair(DeterministicRandom(20))
+        leader = generate_keypair(DeterministicRandom(21))
+        pa_user = derive_pairwise_long_term_key(
+            alice, leader.public, "alice", "leader"
+        )
+        pa_leader = derive_pairwise_long_term_key(
+            leader, alice.public, "alice", "leader"
+        )
+        assert pa_user == pa_leader
+
+    def test_identity_binding(self):
+        alice = generate_keypair(DeterministicRandom(20))
+        leader = generate_keypair(DeterministicRandom(21))
+        a = derive_pairwise_long_term_key(alice, leader.public, "alice", "L1")
+        b = derive_pairwise_long_term_key(alice, leader.public, "alice", "L2")
+        c = derive_pairwise_long_term_key(alice, leader.public, "alicia", "L1")
+        assert len({a, b, c}) == 3

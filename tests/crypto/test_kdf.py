@@ -1,0 +1,106 @@
+"""PBKDF2 and HKDF against stdlib/RFC vectors."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.kdf import (
+    derive_subkeys,
+    hkdf_expand,
+    hkdf_extract,
+    pbkdf2_hmac_sha256,
+)
+
+
+class TestPBKDF2:
+    # Published PBKDF2-HMAC-SHA256 vectors (RFC 6070 adapted to SHA-256).
+    VECTORS = [
+        (b"password", b"salt", 1,
+         "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b"),
+        (b"password", b"salt", 2,
+         "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43"),
+        (b"password", b"salt", 4096,
+         "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a"),
+        (b"passwordPASSWORDpassword", b"saltSALTsaltSALTsaltSALTsaltSALTsalt",
+         4096,
+         "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1"),
+    ]
+
+    @pytest.mark.parametrize("pw,salt,iters,expected", VECTORS[:3],
+                             ids=["iter1", "iter2", "iter4096"])
+    def test_rfc_vectors(self, pw, salt, iters, expected):
+        assert pbkdf2_hmac_sha256(pw, salt, iters, 32).hex() == expected
+
+    def test_long_output_vector(self):
+        pw, salt, iters, expected = self.VECTORS[3]
+        out = pbkdf2_hmac_sha256(pw, salt, iters, 40)
+        assert out[:32].hex() == expected
+
+    def test_matches_stdlib(self):
+        for dk_len in (16, 32, 33, 64):
+            ours = pbkdf2_hmac_sha256(b"pw", b"na", 10, dk_len)
+            ref = hashlib.pbkdf2_hmac("sha256", b"pw", b"na", 10, dk_len)
+            assert ours == ref
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            pbkdf2_hmac_sha256(b"pw", b"s", 0)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            pbkdf2_hmac_sha256(b"pw", b"s", 1, 0)
+
+
+class TestHKDF:
+    def test_rfc5869_case_1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes(range(13))
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_info(self):
+        prk = hkdf_extract(b"", b"\x0b" * 22)
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_expand_length_limit(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+    def test_expand_exact_lengths(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        for n in (1, 31, 32, 33, 64, 100):
+            assert len(hkdf_expand(prk, b"info", n)) == n
+
+
+class TestDeriveSubkeys:
+    def test_deterministic(self):
+        assert derive_subkeys(b"s" * 32, b"lbl") == derive_subkeys(
+            b"s" * 32, b"lbl"
+        )
+
+    def test_enc_and_mac_differ(self):
+        enc, mac = derive_subkeys(b"s" * 32, b"lbl")
+        assert enc != mac[: len(enc)]
+        assert len(enc) == 16 and len(mac) == 32
+
+    def test_label_separation(self):
+        assert derive_subkeys(b"s" * 32, b"a") != derive_subkeys(
+            b"s" * 32, b"b"
+        )
+
+    def test_secret_separation(self):
+        assert derive_subkeys(b"a" * 32, b"l") != derive_subkeys(
+            b"b" * 32, b"l"
+        )

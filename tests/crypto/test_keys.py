@@ -1,0 +1,87 @@
+"""Tests for typed key material."""
+
+import pytest
+
+from repro.crypto.keys import (
+    KEY_LEN,
+    GroupKey,
+    LongTermKey,
+    SessionKey,
+    derive_long_term_key,
+)
+from repro.exceptions import KeyError_
+
+
+class TestKeyTypes:
+    def test_length_enforced(self):
+        for cls in (LongTermKey, SessionKey, GroupKey):
+            with pytest.raises(KeyError_):
+                cls(bytes(16))
+            with pytest.raises(KeyError_):
+                cls(b"")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(KeyError_):
+            SessionKey("x" * 32)  # type: ignore[arg-type]
+
+    def test_types_are_distinct(self):
+        material = bytes(KEY_LEN)
+        assert LongTermKey(material) != SessionKey(material)
+        assert SessionKey(material) != GroupKey(material)
+
+    def test_same_type_same_material_equal(self):
+        assert SessionKey(bytes(32)) == SessionKey(bytes(32))
+
+    def test_subkeys_cached_and_stable(self):
+        key = SessionKey(bytes(32))
+        assert key.subkeys() is key.subkeys()
+        assert key.subkeys() == SessionKey(bytes(32)).subkeys()
+
+    def test_subkeys_usage_separated(self):
+        material = bytes(32)
+        # The same 32 bytes used as different key types yield unrelated
+        # subkeys (domain separation by usage label).
+        assert LongTermKey(material).subkeys() != SessionKey(material).subkeys()
+        assert SessionKey(material).subkeys() != GroupKey(material).subkeys()
+
+    def test_fingerprint_short_and_stable(self):
+        key = GroupKey(b"\x42" * 32)
+        assert key.fingerprint() == GroupKey(b"\x42" * 32).fingerprint()
+        assert len(key.fingerprint()) == 8
+
+    def test_fingerprint_not_prefix_of_material(self):
+        key = GroupKey(b"\x42" * 32)
+        assert key.fingerprint() != key.material[:4].hex()
+
+    def test_repr_hides_material(self):
+        key = SessionKey(b"\x42" * 32)
+        assert key.material.hex() not in repr(key)
+        assert "SessionKey" in repr(key)
+
+
+class TestDeriveLongTermKey:
+    def test_deterministic(self):
+        assert derive_long_term_key("alice", "pw") == derive_long_term_key(
+            "alice", "pw"
+        )
+
+    def test_user_separation(self):
+        # Same password, different users -> different P_a.
+        assert derive_long_term_key("alice", "pw") != derive_long_term_key(
+            "bob", "pw"
+        )
+
+    def test_password_separation(self):
+        assert derive_long_term_key("alice", "pw1") != derive_long_term_key(
+            "alice", "pw2"
+        )
+
+    def test_returns_long_term_key(self):
+        key = derive_long_term_key("alice", "pw")
+        assert isinstance(key, LongTermKey)
+        assert len(key.material) == KEY_LEN
+
+    def test_iterations_change_key(self):
+        assert derive_long_term_key("a", "pw", 10) != derive_long_term_key(
+            "a", "pw", 11
+        )

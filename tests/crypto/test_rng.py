@@ -1,0 +1,104 @@
+"""Tests for randomness sources and nonces."""
+
+import pytest
+
+from repro.crypto.rng import (
+    NONCE_LEN,
+    DeterministicRandom,
+    Nonce,
+    SystemRandom,
+)
+
+
+class TestNonce:
+    def test_valid(self):
+        n = Nonce(bytes(NONCE_LEN))
+        assert n.value == bytes(16)
+        assert n.hex() == "00" * 16
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Nonce(bytes(8))
+        with pytest.raises(ValueError):
+            Nonce(bytes(17))
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Nonce("x" * 16)  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Nonce(bytes(16)) == Nonce(bytes(16))
+        assert hash(Nonce(bytes(16))) == hash(Nonce(bytes(16)))
+        assert Nonce(bytes(16)) != Nonce(b"\x01" + bytes(15))
+
+    def test_repr_is_short(self):
+        assert len(repr(Nonce(bytes(16)))) < 30
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(42)
+        b = DeterministicRandom(42)
+        assert [a.random_bytes(10) for _ in range(5)] == [
+            b.random_bytes(10) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRandom(1).random_bytes(16) != DeterministicRandom(
+            2
+        ).random_bytes(16)
+
+    def test_successive_calls_differ(self):
+        rng = DeterministicRandom(7)
+        assert rng.random_bytes(16) != rng.random_bytes(16)
+
+    def test_exact_lengths(self):
+        rng = DeterministicRandom(0)
+        for n in (1, 31, 32, 33, 100):
+            assert len(rng.random_bytes(n)) == n
+
+    def test_seed_types(self):
+        # int, str, and bytes seeds are all accepted.
+        DeterministicRandom(5)
+        DeterministicRandom("seed")
+        DeterministicRandom(b"seed")
+
+    def test_str_and_bytes_seed_equivalent(self):
+        assert DeterministicRandom("s").random_bytes(8) == DeterministicRandom(
+            b"s"
+        ).random_bytes(8)
+
+    def test_fork_independent(self):
+        rng = DeterministicRandom(9)
+        fork_a = rng.fork("a")
+        fork_b = rng.fork("b")
+        assert fork_a.random_bytes(16) != fork_b.random_bytes(16)
+        # Forking does not disturb the parent stream.
+        parent1 = DeterministicRandom(9)
+        parent1.fork("x")
+        assert parent1.random_bytes(8) == DeterministicRandom(9).random_bytes(8)
+
+    def test_fork_deterministic(self):
+        assert DeterministicRandom(9).fork("a").random_bytes(
+            8
+        ) == DeterministicRandom(9).fork("a").random_bytes(8)
+
+    def test_nonce_method(self):
+        rng = DeterministicRandom(3)
+        n1, n2 = rng.nonce(), rng.nonce()
+        assert isinstance(n1, Nonce) and n1 != n2
+
+    def test_key_material(self):
+        assert len(DeterministicRandom(0).key_material()) == 32
+
+
+class TestSystemRandom:
+    def test_lengths(self):
+        rng = SystemRandom()
+        assert len(rng.random_bytes(16)) == 16
+        assert len(rng.key_material()) == 32
+
+    def test_nonces_unique(self):
+        rng = SystemRandom()
+        nonces = {rng.nonce().value for _ in range(100)}
+        assert len(nonces) == 100

@@ -1,0 +1,85 @@
+"""Tests for admin payload encoding."""
+
+import pytest
+
+from repro.crypto.keys import GroupKey
+from repro.enclaves.itgm.admin import (
+    MemberJoinedPayload,
+    MemberLeftPayload,
+    MembershipPayload,
+    NewGroupKeyPayload,
+    TextPayload,
+    decode_payload,
+)
+from repro.exceptions import CodecError
+from repro.wire.codec import encode_fields
+
+
+PAYLOADS = [
+    NewGroupKeyPayload(key=GroupKey(b"\x11" * 32), epoch=7),
+    MemberJoinedPayload("alice"),
+    MemberLeftPayload("bob"),
+    MembershipPayload(("alice", "bob", "carol")),
+    MembershipPayload(()),
+    TextPayload("hello"),
+    TextPayload(""),
+]
+
+
+@pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: type(p).__name__)
+def test_roundtrip(payload):
+    assert decode_payload(payload.encode()) == payload
+
+
+def test_epoch_preserved():
+    payload = NewGroupKeyPayload(key=GroupKey(bytes(32)), epoch=2**40)
+    assert decode_payload(payload.encode()).epoch == 2**40
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(encode_fields([bytes([0x7F]), b"x"]))
+
+
+def test_missing_tag_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(encode_fields([]))
+
+
+def test_multibyte_tag_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(encode_fields([b"\x01\x01", b"x"]))
+
+
+def test_garbage_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(b"\xff" * 10)
+
+
+def test_new_key_wrong_material_length_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(
+            encode_fields([bytes([0x01]), bytes(16), (0).to_bytes(8, "big")])
+        )
+
+
+def test_new_key_wrong_field_count_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(encode_fields([bytes([0x01]), bytes(32)]))
+
+
+def test_joined_extra_field_rejected():
+    with pytest.raises(CodecError):
+        decode_payload(encode_fields([bytes([0x02]), b"alice", b"extra"]))
+
+
+def test_encodings_distinct():
+    # Joined vs Left with the same user must encode differently.
+    assert MemberJoinedPayload("x").encode() != MemberLeftPayload("x").encode()
+
+
+def test_payloads_hashable_and_frozen():
+    payload = MemberJoinedPayload("alice")
+    assert hash(payload) == hash(MemberJoinedPayload("alice"))
+    with pytest.raises(AttributeError):
+        payload.user_id = "mallory"  # type: ignore[misc]

@@ -1,0 +1,169 @@
+"""Asyncio integration tests for MemberClient + LeaderRuntime."""
+
+import asyncio
+
+import pytest
+
+from repro.enclaves.common import (
+    AppMessage,
+    GroupKeyChanged,
+    MemberJoined,
+    RekeyPolicy,
+    UserDirectory,
+)
+from repro.enclaves.itgm import (
+    GroupLeader,
+    LeaderRuntime,
+    MemberClient,
+    TextPayload,
+)
+from repro.enclaves.itgm.leader import LeaderConfig
+from repro.enclaves.itgm.member import MemberState
+from repro.exceptions import ProtocolError
+from repro.net import MemoryNetwork
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_group(names, config=None):
+    net = MemoryNetwork()
+    directory = UserDirectory()
+    creds = {n: directory.register_password(n, f"pw-{n}") for n in names}
+    leader = GroupLeader("leader", directory, config=config)
+    runtime = LeaderRuntime(leader, await net.attach("leader"))
+    runtime.start()
+    clients = {}
+    for name in names:
+        client = MemberClient(creds[name], "leader", await net.attach(name))
+        await client.join()
+        clients[name] = client
+    return net, leader, runtime, clients
+
+
+async def teardown(runtime, clients):
+    for client in clients.values():
+        await client.stop()
+    await runtime.stop()
+
+
+class TestJoinLeave:
+    def test_join_connects_with_group_key(self):
+        async def scenario():
+            _, leader, runtime, clients = await make_group(["alice"])
+            try:
+                assert clients["alice"].state is MemberState.CONNECTED
+                assert clients["alice"].protocol.has_group_key
+                assert leader.members == ["alice"]
+            finally:
+                await teardown(runtime, clients)
+
+        run(scenario())
+
+    def test_join_timeout_when_denied(self):
+        async def scenario():
+            net = MemoryNetwork()
+            directory = UserDirectory()
+            creds = directory.register_password("alice", "pw")
+            leader = GroupLeader(
+                "leader", directory,
+                config=LeaderConfig(access_policy=lambda _: False),
+            )
+            runtime = LeaderRuntime(leader, await net.attach("leader"))
+            runtime.start()
+            client = MemberClient(creds, "leader", await net.attach("alice"))
+            with pytest.raises(ProtocolError):
+                await client.join(timeout=0.2)
+            await client.stop()
+            await runtime.stop()
+
+        run(scenario())
+
+    def test_leave(self):
+        async def scenario():
+            _, leader, runtime, clients = await make_group(["alice", "bob"])
+            try:
+                await clients["alice"].leave()
+                await asyncio.sleep(0.05)
+                assert leader.members == ["bob"]
+                assert clients["bob"].membership == {"bob"}
+            finally:
+                await teardown(runtime, clients)
+
+        run(scenario())
+
+
+class TestMessaging:
+    def test_chat_reaches_other_members(self):
+        async def scenario():
+            _, _, runtime, clients = await make_group(["alice", "bob", "carol"])
+            try:
+                await clients["alice"].send_app(b"hello")
+                await asyncio.sleep(0.05)
+                for name in ("bob", "carol"):
+                    events = await clients[name].drain_events()
+                    msgs = [e for e in events if isinstance(e, AppMessage)]
+                    assert msgs == [AppMessage("alice", b"hello")]
+            finally:
+                await teardown(runtime, clients)
+
+        run(scenario())
+
+    def test_broadcast_admin(self):
+        async def scenario():
+            _, _, runtime, clients = await make_group(["alice", "bob"])
+            try:
+                await runtime.broadcast_admin(TextPayload("maintenance"))
+                await asyncio.sleep(0.05)
+                for client in clients.values():
+                    assert TextPayload("maintenance") in client.protocol.admin_log
+            finally:
+                await teardown(runtime, clients)
+
+        run(scenario())
+
+    def test_rekey_now(self):
+        async def scenario():
+            _, leader, runtime, clients = await make_group(["alice", "bob"])
+            try:
+                before = leader.group_epoch
+                await runtime.rekey_now()
+                await asyncio.sleep(0.05)
+                assert leader.group_epoch == before + 1
+                for client in clients.values():
+                    assert client.protocol.group_epoch == before + 1
+            finally:
+                await teardown(runtime, clients)
+
+        run(scenario())
+
+    def test_event_stream(self):
+        async def scenario():
+            _, _, runtime, clients = await make_group(["alice"])
+            try:
+                # A second member joins; alice must see it as events.
+                pass
+            finally:
+                pass
+            net = None
+            # Use a fresh group to watch events on join.
+            net, leader, runtime2, clients2 = await make_group(["ann"])
+            try:
+                directory = leader.directory
+                creds = directory.register_password("ben", "pw-ben")
+                ben = MemberClient(creds, "leader", await net.attach("ben"))
+                await ben.join()
+                await asyncio.sleep(0.05)
+                events = await clients2["ann"].drain_events()
+                assert any(
+                    isinstance(e, MemberJoined) and e.user_id == "ben"
+                    for e in events
+                )
+                assert any(isinstance(e, GroupKeyChanged) for e in events)
+                await ben.stop()
+            finally:
+                await teardown(runtime2, clients2)
+                await teardown(runtime, clients)
+
+        run(scenario())

@@ -1,0 +1,162 @@
+"""Tests for the group-manager failover extension (paper §7 future work)."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import AppMessage, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.failover import (
+    ManagerSet,
+    ResilientMember,
+    run_failover_drill,
+)
+from repro.exceptions import StateError
+
+
+def build(n_managers=3, member_ids=("alice", "bob"), seed=0):
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    creds = {uid: directory.register_password(uid, f"pw-{uid}")
+             for uid in member_ids}
+    managers = ManagerSet.create(n_managers, directory, rng=rng.fork("m"))
+    for manager_id, manager in managers.managers.items():
+        wire(net, manager_id, manager)
+    members = {
+        uid: ResilientMember(
+            {m: creds[uid] for m in managers.order}, net, uid, rng.fork(uid)
+        )
+        for uid in member_ids
+    }
+    return net, managers, members
+
+
+class TestManagerSet:
+    def test_initial_primary(self):
+        _, managers, _ = build()
+        assert managers.primary_id == "mgr-0"
+        assert managers.alive_ids == ["mgr-0", "mgr-1", "mgr-2"]
+
+    def test_fail_primary_promotes_next(self):
+        _, managers, _ = build()
+        assert managers.fail_primary() == "mgr-1"
+        assert managers.primary_id == "mgr-1"
+        assert managers.alive_ids == ["mgr-1", "mgr-2"]
+
+    def test_cascading_failures(self):
+        _, managers, _ = build()
+        managers.fail_primary()
+        assert managers.fail_primary() == "mgr-2"
+        with pytest.raises(StateError):
+            managers.fail_primary()
+
+    def test_recover_rejoins_pool(self):
+        _, managers, _ = build()
+        managers.fail_primary()
+        managers.recover("mgr-0")
+        assert "mgr-0" in managers.alive_ids
+        # Recovered manager is cold: no members.
+        assert managers.managers["mgr-0"].members == []
+
+    def test_recover_unknown_manager(self):
+        _, managers, _ = build()
+        with pytest.raises(StateError):
+            managers.recover("mgr-99")
+
+
+class TestFailover:
+    def test_members_rejoin_new_primary(self):
+        net, managers, members = build()
+        for member in members.values():
+            net.post(member.follow(managers.primary_id))
+            net.run()
+        assert managers.primary.members == ["alice", "bob"]
+
+        new_primary = managers.fail_primary()
+        for member in members.values():
+            net.post(member.follow(new_primary))
+            net.run()
+        assert managers.managers[new_primary].members == ["alice", "bob"]
+        for member in members.values():
+            assert member.connected
+            assert member.protocol.membership == {"alice", "bob"}
+
+    def test_traffic_resumes_after_failover(self):
+        report = run_failover_drill(seed=5)
+        assert report["before"]["members"] == ["alice", "bob"]
+        assert report["after"]["members"] == ["alice", "bob"]
+        assert report["after"]["primary"] != report["before"]["primary"]
+        assert report["received"]["bob"] == [b"we survived"]
+
+    def test_fresh_keys_on_new_primary(self):
+        net, managers, members = build()
+        alice = members["alice"]
+        net.post(alice.follow(managers.primary_id))
+        net.run()
+        old_key = alice.protocol._session_key
+        new_primary = managers.fail_primary()
+        net.post(alice.follow(new_primary))
+        net.run()
+        assert alice.protocol._session_key != old_key
+
+    def test_stale_frames_from_dead_manager_rejected(self):
+        net, managers, members = build()
+        alice = members["alice"]
+        net.post(alice.follow(managers.primary_id))
+        net.run()
+        # Record the dead primary's AuthKeyDist and admin frames.
+        stale = [e for e in net.wire_log if e.sender == "mgr-0"
+                 and e.recipient == "alice"]
+        new_primary = managers.fail_primary()
+        net.post(alice.follow(new_primary))
+        net.run()
+        rejected_before = alice.protocol.stats.rejected
+        log_before = list(alice.protocol.admin_log)
+        for envelope in stale:
+            net.inject(envelope)
+        net.run()
+        assert alice.protocol.admin_log == log_before
+        assert alice.protocol.stats.rejected > rejected_before
+
+    def test_follow_without_credentials_fails(self):
+        net, managers, members = build()
+        alice = members["alice"]
+        with pytest.raises(StateError):
+            alice.follow("mgr-unknown")
+
+    def test_members_can_return_to_recovered_manager(self):
+        """A crashed manager recovers cold; after another failover the
+        group can land back on it with fresh sessions."""
+        net, managers, members = build(n_managers=2)
+        for member in members.values():
+            net.post(member.follow(managers.primary_id))
+            net.run()
+        managers.fail_primary()          # mgr-0 dies -> mgr-1
+        for member in members.values():
+            net.post(member.follow("mgr-1"))
+            net.run()
+        managers.recover("mgr-0")        # mgr-0 rejoins the pool, cold
+        # recover() builds a fresh GroupLeader: rebind it to the wire.
+        wire(net, "mgr-0", managers.managers["mgr-0"])
+        managers.fail_primary()          # mgr-1 dies -> back to mgr-0
+        assert managers.primary_id == "mgr-0"
+        for member in members.values():
+            net.post(member.follow("mgr-0"))
+            net.run()
+        assert managers.primary.members == ["alice", "bob"]
+
+    def test_survives_two_failovers(self):
+        net, managers, members = build(n_managers=3)
+        for member in members.values():
+            net.post(member.follow(managers.primary_id))
+            net.run()
+        for _ in range(2):
+            new_primary = managers.fail_primary()
+            for member in members.values():
+                net.post(member.follow(new_primary))
+                net.run()
+        assert managers.primary.members == ["alice", "bob"]
+        alice = members["alice"]
+        net.post(alice.protocol.seal_app(b"third leader"))
+        net.run()
+        assert net.events_of("bob", AppMessage)[-1].payload == b"third leader"

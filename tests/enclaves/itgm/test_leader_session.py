@@ -1,0 +1,236 @@
+"""Unit tests for the leader per-user state machine (Figure 3).
+
+These drive a real member core against one LeaderSession directly (no
+group logic), asserting both FSM structure and the crypto checks.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import Credentials, Joined, Left, Rejected
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.exceptions import StateError
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+def make_pair(seed=0):
+    creds = Credentials.from_password("alice", "pw")
+    rng = DeterministicRandom(seed)
+    member = MemberProtocol(creds, "leader", rng.fork("member"))
+    session = LeaderSession(
+        "leader", "alice", creds.long_term_key, rng.fork("leader")
+    )
+    return member, session
+
+
+def handshake(member, session):
+    """Run the 3-message handshake to completion; returns all events."""
+    req = member.start_join()
+    out1, _ = session.handle(req)
+    out2, _ = member.handle(out1[0])
+    _, events = session.handle(out2[0])
+    return events
+
+
+class TestHandshake:
+    def test_full_handshake(self):
+        member, session = make_pair()
+        events = handshake(member, session)
+        assert session.state is LeaderState.CONNECTED
+        assert member.state is MemberState.CONNECTED
+        assert any(isinstance(e, Joined) for e in events)
+        assert session.is_member
+        assert session.stats.sessions_opened == 1
+
+    def test_auth_init_produces_key_dist(self):
+        member, session = make_pair()
+        out, events = session.handle(member.start_join())
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+        assert len(out) == 1 and out[0].label is Label.AUTH_KEY_DIST
+        assert not session.is_member
+
+    def test_rejects_garbage_auth_init(self):
+        _, session = make_pair()
+        _, events = session.handle(
+            Envelope(Label.AUTH_INIT_REQ, "alice", "leader", b"\x00" * 80)
+        )
+        assert session.state is LeaderState.NOT_CONNECTED
+        assert any(isinstance(e, Rejected) for e in events)
+
+    def test_duplicate_auth_init_mid_session_is_idempotent(self):
+        member, session = make_pair()
+        req = member.start_join()
+        out1, _ = session.handle(req)
+        # A duplicate of the handshake-opening AuthInitReq triggers a
+        # verbatim AuthKeyDist retransmission (loss recovery), with no
+        # state change and no new session key.
+        out1b, events = session.handle(req)
+        assert out1b == out1
+        assert not events
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+
+    def test_rejects_foreign_auth_init_mid_session(self):
+        member, session = make_pair()
+        session.handle(member.start_join())
+        # A *different* AuthInitReq (an old replay, a new attempt) while
+        # the handshake is open is discarded.
+        other, _ = make_pair(seed=42)
+        _, events = session.handle(other.start_join())
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+        assert any(isinstance(e, Rejected) for e in events)
+
+    def test_rejects_replayed_auth_ack_from_old_session(self):
+        member, session = make_pair()
+        req = member.start_join()
+        out1, _ = session.handle(req)
+        out2, _ = member.handle(out1[0])
+        old_ack = out2[0]
+        session.handle(old_ack)
+        # Close, then start a second handshake: the old AuthAckKey must
+        # not authenticate the new session (fresh K_a, fresh N2).
+        session.handle(member.start_leave())
+        req2 = member.start_join()
+        session.handle(req2)
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+        _, events = session.handle(old_ack)
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+        assert any(isinstance(e, Rejected) for e in events)
+
+    def test_rejects_wrong_label(self):
+        _, session = make_pair()
+        _, events = session.handle(
+            Envelope(Label.APP_DATA, "alice", "leader", b"")
+        )
+        assert any(isinstance(e, Rejected) for e in events)
+
+
+class TestAdminChannel:
+    def test_send_admin_requires_connected(self):
+        _, session = make_pair()
+        with pytest.raises(StateError):
+            session.send_admin(TextPayload("x"))
+
+    def test_admin_roundtrip(self):
+        member, session = make_pair()
+        handshake(member, session)
+        envelope = session.send_admin(TextPayload("notice"))
+        assert session.state is LeaderState.WAITING_FOR_ACK
+        assert not session.can_send_admin
+        out, events = member.handle(envelope)
+        assert member.admin_log == [TextPayload("notice")]
+        _, _ = session.handle(out[0])
+        assert session.state is LeaderState.CONNECTED
+        assert session.stats.acks_accepted == 1
+
+    def test_stop_and_wait_enforced(self):
+        member, session = make_pair()
+        handshake(member, session)
+        session.send_admin(TextPayload("first"))
+        with pytest.raises(StateError):
+            session.send_admin(TextPayload("second"))
+
+    def test_replayed_admin_never_reapplied_by_member(self):
+        member, session = make_pair()
+        handshake(member, session)
+        envelope = session.send_admin(TextPayload("once"))
+        out, _ = member.handle(envelope)
+        session.handle(out[0])
+        # A duplicate of the just-answered AdminMsg gets the cached Ack
+        # back (loss recovery) but is NOT applied a second time.
+        out2, events = member.handle(envelope)
+        assert out2 == out
+        assert not events
+        assert member.admin_log == [TextPayload("once")]
+        # After the next exchange it becomes a true replay: rejected.
+        envelope2 = session.send_admin(TextPayload("next"))
+        out3, _ = member.handle(envelope2)
+        session.handle(out3[0])
+        out4, events = member.handle(envelope)
+        assert out4 == []
+        assert any(isinstance(e, Rejected) for e in events)
+        assert member.admin_log == [TextPayload("once"), TextPayload("next")]
+
+    def test_replayed_ack_rejected_by_leader(self):
+        member, session = make_pair()
+        handshake(member, session)
+        envelope = session.send_admin(TextPayload("a"))
+        out, _ = member.handle(envelope)
+        session.handle(out[0])
+        envelope2 = session.send_admin(TextPayload("b"))
+        member.handle(envelope2)
+        # Replay the FIRST ack against the second admin message.
+        _, events = session.handle(out[0])
+        assert session.state is LeaderState.WAITING_FOR_ACK
+        assert any(isinstance(e, Rejected) for e in events)
+
+    def test_ordering_of_many_messages(self):
+        member, session = make_pair()
+        handshake(member, session)
+        for i in range(10):
+            envelope = session.send_admin(TextPayload(f"msg-{i}"))
+            out, _ = member.handle(envelope)
+            session.handle(out[0])
+        assert [p.text for p in member.admin_log] == [
+            f"msg-{i}" for i in range(10)
+        ]
+        assert member.admin_log == session.admin_log
+
+
+class TestClose:
+    def test_close_from_connected(self):
+        member, session = make_pair()
+        handshake(member, session)
+        fp = session.session_key_fingerprint
+        _, events = session.handle(member.start_leave())
+        assert session.state is LeaderState.NOT_CONNECTED
+        assert any(isinstance(e, Left) for e in events)
+        assert session.admin_log == []
+        assert session.discarded_keys == [fp]
+        assert session.session_key_fingerprint is None
+
+    def test_close_from_waiting_for_ack(self):
+        member, session = make_pair()
+        handshake(member, session)
+        session.send_admin(TextPayload("pending"))
+        _, events = session.handle(member.start_leave())
+        assert session.state is LeaderState.NOT_CONNECTED
+        assert any(isinstance(e, Left) for e in events)
+
+    def test_close_not_honored_in_waiting_for_key_ack(self):
+        # Figure 3: ReqClose transitions exist only from Connected and
+        # WaitingForAck (see leader_session.py for why §5.4 needs this).
+        member, session = make_pair()
+        req = member.start_join()
+        out1, _ = session.handle(req)
+        out2, _ = member.handle(out1[0])  # member is now Connected
+        close = member.start_leave()
+        # Deliver the close BEFORE the pending AuthAckKey (reordering).
+        _, events = session.handle(close)
+        assert session.state is LeaderState.WAITING_FOR_KEY_ACK
+        assert any(isinstance(e, Rejected) for e in events)
+        # The pending ack still lands.
+        _, events2 = session.handle(out2[0])
+        assert session.state is LeaderState.CONNECTED
+
+    def test_forged_close_rejected(self):
+        member, session = make_pair()
+        handshake(member, session)
+        _, events = session.handle(
+            Envelope(Label.REQ_CLOSE, "alice", "leader", b"\x00" * 64)
+        )
+        assert session.state is LeaderState.CONNECTED
+        assert any(isinstance(e, Rejected) for e in events)
+
+    def test_replayed_close_after_rejoin_rejected(self):
+        member, session = make_pair()
+        handshake(member, session)
+        close = member.start_leave()
+        session.handle(close)
+        # New session with fresh K_a.
+        handshake(member, session)
+        _, events = session.handle(close)  # replay of the old close
+        assert session.state is LeaderState.CONNECTED
+        assert any(isinstance(e, Rejected) for e in events)

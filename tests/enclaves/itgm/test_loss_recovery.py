@@ -1,0 +1,177 @@
+"""Tests for loss recovery: byte-identical retransmissions.
+
+The stop-and-wait admin channel stalls when a frame is lost; these tests
+verify that verbatim retransmission (driven by timers in a deployment)
+unblocks every loss case without weakening any §5 property — duplicates
+of *already-processed* frames are still rejected or answered
+idempotently, never re-applied.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import Credentials, Rejected
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+
+
+def make_pair(seed=0):
+    creds = Credentials.from_password("alice", "pw")
+    rng = DeterministicRandom(seed)
+    member = MemberProtocol(creds, "leader", rng.fork("m"))
+    session = LeaderSession("leader", "alice", creds.long_term_key,
+                            rng.fork("l"))
+    return member, session
+
+
+def connect(member, session):
+    out1, _ = session.handle(member.start_join())
+    out2, _ = member.handle(out1[0])
+    session.handle(out2[0])
+
+
+class TestLostAuthInitReq:
+    def test_member_retransmits_join(self):
+        member, session = make_pair()
+        req = member.start_join()
+        # The request is "lost": never delivered.  The member's timer
+        # fires and retransmits the identical frame.
+        retransmit = member.retransmit_last()
+        assert retransmit == req
+        out, _ = session.handle(retransmit)
+        out2, _ = member.handle(out[0])
+        session.handle(out2[0])
+        assert session.state is LeaderState.CONNECTED
+
+    def test_no_retransmit_when_connected(self):
+        member, session = make_pair()
+        connect(member, session)
+        assert member.retransmit_last() is None
+
+
+class TestLostAuthKeyDist:
+    def test_duplicate_init_triggers_key_dist_resend(self):
+        member, session = make_pair()
+        req = member.start_join()
+        out1, _ = session.handle(req)
+        # AuthKeyDist lost; member retransmits AuthInitReq; the leader
+        # answers with the *identical* AuthKeyDist (no new key!).
+        out1b, events = session.handle(member.retransmit_last())
+        assert out1b == out1
+        assert not events  # not a rejection
+        out2, _ = member.handle(out1b[0])
+        session.handle(out2[0])
+        assert session.state is LeaderState.CONNECTED
+
+    def test_foreign_init_still_rejected_mid_handshake(self):
+        member, session = make_pair()
+        session.handle(member.start_join())
+        # A *different* AuthInitReq (e.g. an old replay) is rejected.
+        other_member, _ = make_pair(seed=99)
+        old_req = other_member.start_join()
+        out, events = session.handle(old_req)
+        assert out == []
+        assert any(isinstance(e, Rejected) for e in events)
+
+
+class TestLostAuthAckKey:
+    def test_leader_retransmits_key_dist_and_member_reacks(self):
+        member, session = make_pair()
+        out1, _ = session.handle(member.start_join())
+        out2, _ = member.handle(out1[0])  # member CONNECTED, ack "lost"
+        # Leader times out and retransmits the AuthKeyDist.
+        resend = session.retransmit_last()
+        assert resend == out1[0]
+        # Member answers with the cached, identical AuthAckKey.
+        out2b, events = member.handle(resend)
+        assert out2b == out2
+        assert not events
+        session.handle(out2b[0])
+        assert session.state is LeaderState.CONNECTED
+
+
+class TestLostAdminMsg:
+    def test_leader_retransmits_admin(self):
+        member, session = make_pair()
+        connect(member, session)
+        env = session.send_admin(TextPayload("important"))
+        # Lost; leader retransmits, member processes normally.
+        resend = session.retransmit_last()
+        assert resend == env
+        out, _ = member.handle(resend)
+        session.handle(out[0])
+        assert member.admin_log == [TextPayload("important")]
+        assert session.state is LeaderState.CONNECTED
+
+
+class TestLostAck:
+    def test_duplicate_admin_gets_cached_ack(self):
+        member, session = make_pair()
+        connect(member, session)
+        env = session.send_admin(TextPayload("x"))
+        out, _ = member.handle(env)  # ack "lost"
+        accepted = len(member.admin_log)
+        # Leader retransmits the AdminMsg; member must NOT re-apply it,
+        # only resend the identical Ack.
+        out_b, events = member.handle(session.retransmit_last())
+        assert out_b == out
+        assert not events
+        assert len(member.admin_log) == accepted  # not re-applied
+        session.handle(out_b[0])
+        assert session.state is LeaderState.CONNECTED
+
+    def test_next_admin_invalidates_cached_ack_path(self):
+        member, session = make_pair()
+        connect(member, session)
+        env1 = session.send_admin(TextPayload("one"))
+        out1, _ = member.handle(env1)
+        session.handle(out1[0])
+        env2 = session.send_admin(TextPayload("two"))
+        out2, _ = member.handle(env2)
+        session.handle(out2[0])
+        # A late duplicate of env1 is now a true replay: rejected.
+        out, events = member.handle(env1)
+        assert out == []
+        assert any(isinstance(e, Rejected) for e in events)
+
+
+class TestGroupLevelRecovery:
+    def test_retransmit_stalled_unblocks_lost_frames(self):
+        from tests.conftest import ItgmGroup
+        from repro.wire.labels import Label
+
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        # Drop the next AdminMsg to alice.
+        dropped = []
+
+        def drop_one(envelope):
+            if (
+                envelope.label is Label.ADMIN_MSG
+                and envelope.recipient == "alice"
+                and not dropped
+            ):
+                dropped.append(envelope)
+                return []
+            return None
+
+        group.net.set_interceptor(drop_one)
+        group.net.post_all(
+            group.leader.broadcast_admin(TextPayload("fragile"))
+        )
+        group.net.run()
+        group.net.set_interceptor(None)
+        assert TextPayload("fragile") not in group.members["alice"].admin_log
+
+        # The timer fires: stalled sessions retransmit; channel unblocks.
+        group.net.post_all(group.leader.retransmit_stalled())
+        group.net.run()
+        assert TextPayload("fragile") in group.members["alice"].admin_log
+        assert group.members["alice"].admin_log == \
+            group.leader.admin_send_log("alice")
+
+    def test_retransmit_when_nothing_stalled_is_noop(self):
+        from tests.conftest import ItgmGroup
+
+        group = ItgmGroup(["alice"]).join_all()
+        assert group.leader.retransmit_stalled() == []

@@ -1,0 +1,182 @@
+"""Tests for leader warm-restart persistence."""
+
+import pytest
+
+from repro.crypto.keys import GroupKey, SessionKey
+from repro.enclaves.common import AppMessage, UserDirectory
+from repro.enclaves.harness import wire
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.leader_session import LeaderState
+from repro.enclaves.itgm.persistence import (
+    open_snapshot,
+    restore_leader,
+    seal_snapshot,
+    snapshot_leader,
+)
+from repro.exceptions import IntegrityError, ProtocolError
+
+from tests.conftest import ItgmGroup
+
+
+def warm_restart(group):
+    """Snapshot the live leader, build a fresh one from it, rewire."""
+    snapshot = snapshot_leader(group.leader)
+    restored = restore_leader(
+        snapshot, group.directory, config=group.leader.config,
+        rng=group.rng.fork("restored"),
+    )
+    group.net.register("leader", restored.handle)
+    group.leader = restored
+    return restored
+
+
+class TestWarmRestart:
+    def test_members_survive_restart(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        warm_restart(group)
+        assert group.leader.members == ["alice", "bob"]
+
+    def test_sessions_continue_after_restart(self):
+        """The nonce chain spans the restart: admin messages sent by
+        the restored leader are accepted seamlessly."""
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        group.net.post_all(group.leader.broadcast_admin(TextPayload("pre")))
+        group.net.run()
+        warm_restart(group)
+        group.net.post_all(group.leader.broadcast_admin(TextPayload("post")))
+        group.net.run()
+        for user_id, member in group.members.items():
+            texts = [p.text for p in member.admin_log
+                     if isinstance(p, TextPayload)]
+            assert texts == ["pre", "post"]
+            assert member.admin_log == group.leader.admin_send_log(user_id)
+
+    def test_group_key_survives(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        epoch = group.leader.group_epoch
+        warm_restart(group)
+        assert group.leader.group_epoch == epoch
+        # Existing members' app traffic still relays (same K_g).
+        group.net.post(group.members["alice"].seal_app(b"post-restart"))
+        group.net.run()
+        assert any(e.payload == b"post-restart"
+                   for e in group.net.events_of("bob", AppMessage))
+
+    def test_pending_outbox_survives(self):
+        group = ItgmGroup(["alice"]).join_all()
+        # Queue two payloads; only one is in flight (stop-and-wait), the
+        # other sits in the outbox — and must survive the restart.
+        in_flight = group.leader.broadcast_admin(TextPayload("one"))
+        group.leader.broadcast_admin(TextPayload("two"))
+        assert group.leader.outbox_depth("alice") == 1
+        restored = warm_restart(group)
+        assert restored.outbox_depth("alice") == 1
+        # Deliver the in-flight frame; the restored leader consumes the
+        # ack and pumps the queued payload.
+        group.net.post_all(in_flight)
+        group.net.run()
+        texts = [p.text for p in group.members["alice"].admin_log
+                 if isinstance(p, TextPayload)]
+        assert texts == ["one", "two"]
+
+    def test_retransmission_cache_survives(self):
+        group = ItgmGroup(["alice"]).join_all()
+        envelope = group.leader.broadcast_admin(TextPayload("fragile"))[0]
+        # The frame is "lost"; restart; the restored leader retransmits.
+        restored = warm_restart(group)
+        resends = restored.retransmit_stalled()
+        assert resends == [envelope]
+        group.net.post_all(resends)
+        group.net.run()
+        assert TextPayload("fragile") in group.members["alice"].admin_log
+
+    def test_mid_handshake_session_survives(self):
+        group = ItgmGroup(["alice"]).join_all()
+        newbie = group.add_member("bob")
+        req = newbie.start_join()
+        out, _ = group.leader.handle(req)  # AuthKeyDist produced
+        restored = warm_restart(group)
+        assert restored.session_state("bob") is LeaderState.WAITING_FOR_KEY_ACK
+        # Deliver the key dist; bob acks to the restored leader.
+        group.net.post_all(out)
+        group.net.run()
+        assert "bob" in restored.members
+
+    def test_rejoin_after_restart_rejected_replays(self):
+        """Old session artifacts still die after a restart (the
+        discarded-keys list and nonce state made the trip)."""
+        group = ItgmGroup(["alice"]).join_all()
+        session = group.leader._sessions["alice"]
+        old_close = group.members["alice"].start_leave()
+        group.net.post(old_close)
+        group.net.run()
+        group.net.post(group.members["alice"].start_join())
+        group.net.run()
+        restored = warm_restart(group)
+        rejected_before = restored._sessions["alice"].stats.rejected
+        group.net.inject(old_close)  # replay the old close
+        group.net.run()
+        assert "alice" in restored.members
+        assert restored._sessions["alice"].stats.rejected > rejected_before
+
+
+class TestSnapshotFormat:
+    def test_version_checked(self):
+        group = ItgmGroup(["alice"]).join_all()
+        snapshot = snapshot_leader(group.leader)
+        snapshot["version"] = 99
+        with pytest.raises(ProtocolError):
+            restore_leader(snapshot, group.directory)
+
+    def test_unknown_user_rejected(self):
+        group = ItgmGroup(["alice"]).join_all()
+        snapshot = snapshot_leader(group.leader)
+        with pytest.raises(ProtocolError):
+            restore_leader(snapshot, UserDirectory())
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        group.leader.broadcast_admin(TextPayload("queued"))
+        text = json.dumps(snapshot_leader(group.leader))
+        assert "alice" in text
+
+
+class TestSealedStorage:
+    STORAGE_KEY = GroupKey(b"\x55" * 32)
+
+    def test_roundtrip(self):
+        group = ItgmGroup(["alice"]).join_all()
+        snapshot = snapshot_leader(group.leader)
+        blob = seal_snapshot(snapshot, self.STORAGE_KEY)
+        assert open_snapshot(blob, self.STORAGE_KEY) == snapshot
+
+    def test_wrong_key_rejected(self):
+        group = ItgmGroup(["alice"]).join_all()
+        blob = seal_snapshot(snapshot_leader(group.leader), self.STORAGE_KEY)
+        with pytest.raises(IntegrityError):
+            open_snapshot(blob, GroupKey(b"\x56" * 32))
+
+    def test_tampered_blob_rejected(self):
+        group = ItgmGroup(["alice"]).join_all()
+        blob = bytearray(
+            seal_snapshot(snapshot_leader(group.leader), self.STORAGE_KEY)
+        )
+        blob[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            open_snapshot(bytes(blob), self.STORAGE_KEY)
+
+    def test_keys_not_visible_in_blob(self):
+        group = ItgmGroup(["alice"]).join_all()
+        snapshot = snapshot_leader(group.leader)
+        blob = seal_snapshot(snapshot, self.STORAGE_KEY)
+        group_key_hex = snapshot["group_key"]
+        assert bytes.fromhex(group_key_hex) not in blob
+
+    def test_full_cycle_restart_from_sealed_blob(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        blob = seal_snapshot(snapshot_leader(group.leader), self.STORAGE_KEY)
+        snapshot = open_snapshot(blob, self.STORAGE_KEY)
+        restored = restore_leader(snapshot, group.directory)
+        assert restored.members == ["alice", "bob"]

@@ -1,0 +1,173 @@
+"""Tests for the rekey grace window (in-flight frames across a rotation)."""
+
+import pytest
+
+from repro.crypto.aead import AuthenticatedCipher
+from repro.enclaves.common import AppMessage
+from repro.enclaves.itgm.leader import LeaderConfig
+from repro.wire.labels import Label
+
+from tests.conftest import ItgmGroup
+
+
+def capture_old_epoch_frame(group, sender="alice"):
+    """Seal a frame, rotate the key, return the now-one-epoch-old frame."""
+    frame = group.members[sender].seal_app(b"in flight during rekey")
+    group.net.post_all(group.leader.rekey_now())
+    group.net.run()
+    return frame
+
+
+class TestGraceEnabled:
+    def test_one_epoch_old_frame_delivered(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        frame = capture_old_epoch_frame(group)
+        group.net.post(frame)
+        group.net.run()
+        received = group.net.events_of("bob", AppMessage)
+        assert received[-1].payload == b"in flight during rekey"
+        assert group.leader.stats.grace_resealed == 1
+
+    def test_relayed_copy_is_resealed_under_current_key(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        frame = capture_old_epoch_frame(group)
+        group.net.post(frame)
+        group.net.run()
+        relayed = [e for e in group.net.wire_log
+                   if e.label is Label.APP_DATA and e.recipient == "bob"][-1]
+        # The relayed bytes differ from the original (re-sealed).
+        assert relayed.body != frame.body
+
+    def test_two_epochs_old_frame_rejected(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        frame = group.members["alice"].seal_app(b"too old")
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()
+        rejected_before = group.leader.stats.rejected
+        group.net.post(frame)
+        group.net.run()
+        assert group.leader.stats.rejected == rejected_before + 1
+        assert not any(e.payload == b"too old"
+                       for e in group.net.events_of("bob", AppMessage))
+
+    def test_member_grace_accepts_previous_epoch_direct(self):
+        """A member that already rotated still opens a frame relayed
+        under the previous key (reordering at the member's link)."""
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        old_cipher = group.members["bob"]._group_cipher
+        # Craft a frame under bob's current key, then rotate bob forward.
+        from repro.enclaves.itgm.member import app_ad
+        from repro.wire.codec import encode_fields, encode_str
+        from repro.wire.message import Envelope
+
+        body = old_cipher.seal(
+            encode_fields([encode_str("alice"), b"late frame"]),
+            app_ad("alice"),
+        ).to_bytes()
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()
+        out, events = group.members["bob"].handle(
+            Envelope(Label.APP_DATA, "alice", "bob", body)
+        )
+        assert any(isinstance(e, AppMessage) and e.payload == b"late frame"
+                   for e in events)
+
+
+class TestGraceDisabled:
+    def make_group(self):
+        return ItgmGroup(
+            ["alice", "bob"],
+            config=LeaderConfig(rekey_grace=False),
+        ).join_all()
+
+    def test_old_epoch_frame_dropped(self):
+        group = self.make_group()
+        frame = capture_old_epoch_frame(group)
+        rejected_before = group.leader.stats.rejected
+        group.net.post(frame)
+        group.net.run()
+        assert group.leader.stats.rejected == rejected_before + 1
+        assert group.leader.stats.grace_resealed == 0
+
+    def test_ablation_shape(self):
+        """The ablation the benchmark sweeps: same scenario, grace off
+        loses the in-flight frame, grace on delivers it."""
+        strict = self.make_group()
+        frame = capture_old_epoch_frame(strict)
+        strict.net.post(frame)
+        strict.net.run()
+        strict_delivered = len(strict.net.events_of("bob", AppMessage))
+
+        graceful = ItgmGroup(["alice", "bob"]).join_all()
+        frame = capture_old_epoch_frame(graceful)
+        graceful.net.post(frame)
+        graceful.net.run()
+        graceful_delivered = len(graceful.net.events_of("bob", AppMessage))
+        assert graceful_delivered == strict_delivered + 1
+
+
+class TestGraceDoesNotWeakenEviction:
+    def test_eviction_rekey_closes_grace_immediately(self):
+        """The window must not span an eviction: a past member holds the
+        previous key, so one eviction rekey is enough to dead-key it —
+        even though benign rekeys do keep the grace window."""
+        group = ItgmGroup(["alice", "bob", "mallory"]).join_all()
+        mallory_key = group.members["mallory"]._group_key
+        group.net.post(group.members["mallory"].start_leave())
+        group.net.run()  # ONE eviction rekey (ON_LEAVE policy)
+        from repro.enclaves.itgm.member import app_ad
+        from repro.wire.codec import encode_fields, encode_str
+        from repro.wire.message import Envelope
+
+        body = AuthenticatedCipher(mallory_key).seal(
+            encode_fields([encode_str("alice"), b"grace abuse"]),
+            app_ad("alice"),
+        ).to_bytes()
+        group.net.inject(Envelope(Label.APP_DATA, "alice", "leader", body))
+        group.net.run()
+        assert not any(e.payload == b"grace abuse"
+                       for e in group.net.events_of("bob", AppMessage))
+        # Members also dropped their previous cipher on the eviction
+        # payload: a direct injection at bob fails too.
+        out, events = group.members["bob"].handle(
+            Envelope(Label.APP_DATA, "alice", "bob", body)
+        )
+        assert not any(isinstance(e, AppMessage) for e in events)
+
+    def test_leaver_still_evicted(self):
+        """Grace must not let a *departed* member's frames through: the
+        leaver's frames fail the membership check before any key check."""
+        group = ItgmGroup(["alice", "bob", "carol"]).join_all()
+        # Carol seals a frame, then leaves (rekey happens, carol's key
+        # becomes 'previous' — exactly the dangerous window).
+        frame = group.members["carol"].seal_app(b"parting shot")
+        group.net.post(group.members["carol"].start_leave())
+        group.net.run()
+        group.net.post(frame)
+        group.net.run()
+        assert not any(
+            e.payload == b"parting shot"
+            for e in group.net.events_of("alice", AppMessage)
+        )
+
+    def test_past_member_cannot_use_grace_window_after_second_rekey(self):
+        group = ItgmGroup(["alice", "bob", "mallory"]).join_all()
+        mallory_key = group.members["mallory"]._group_key
+        group.net.post(group.members["mallory"].start_leave())
+        group.net.run()  # rekey #1: mallory's key is now 'previous'
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()  # rekey #2: mallory's key is dead even for grace
+        from repro.enclaves.itgm.member import app_ad
+        from repro.wire.codec import encode_fields, encode_str
+        from repro.wire.message import Envelope
+
+        body = AuthenticatedCipher(mallory_key).seal(
+            encode_fields([encode_str("alice"), b"sneaky"]),
+            app_ad("alice"),
+        ).to_bytes()
+        group.net.inject(Envelope(Label.APP_DATA, "alice", "leader", body))
+        group.net.run()
+        assert not any(e.payload == b"sneaky"
+                       for e in group.net.events_of("bob", AppMessage))

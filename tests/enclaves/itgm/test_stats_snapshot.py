@@ -1,0 +1,49 @@
+"""Tests for the leader's observability snapshot."""
+
+import json
+
+from repro.enclaves.itgm.admin import TextPayload
+
+from tests.conftest import ItgmGroup
+
+
+class TestStatsSnapshot:
+    def test_snapshot_shape(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        snap = group.leader.stats_snapshot()
+        assert snap["members"] == ["alice", "bob"]
+        assert snap["group_epoch"] >= 0
+        assert snap["stats"]["joins"] == 2
+        assert set(snap["sessions"]) == {"alice", "bob"}
+        assert snap["sessions"]["alice"]["state"] == "CONNECTED"
+
+    def test_counters_move(self):
+        group = ItgmGroup(["alice"]).join_all()
+        before = group.leader.stats_snapshot()
+        group.net.post_all(group.leader.broadcast_admin(TextPayload("x")))
+        group.net.run()
+        after = group.leader.stats_snapshot()
+        assert after["sessions"]["alice"]["admin_sent"] == \
+            before["sessions"]["alice"]["admin_sent"] + 1
+        assert after["sessions"]["alice"]["acks_accepted"] == \
+            before["sessions"]["alice"]["acks_accepted"] + 1
+
+    def test_outbox_depth_reported(self):
+        group = ItgmGroup(["alice"]).join_all()
+        group.leader.broadcast_admin(TextPayload("1"))
+        group.leader.broadcast_admin(TextPayload("2"))
+        snap = group.leader.stats_snapshot()
+        assert snap["sessions"]["alice"]["outbox_depth"] == 1
+
+    def test_json_serializable(self):
+        group = ItgmGroup(["alice"]).join_all()
+        json.dumps(group.leader.stats_snapshot())
+
+    def test_leave_reflected(self):
+        group = ItgmGroup(["alice", "bob"]).join_all()
+        group.net.post(group.members["alice"].start_leave())
+        group.net.run()
+        snap = group.leader.stats_snapshot()
+        assert snap["members"] == ["bob"]
+        assert snap["sessions"]["alice"]["state"] == "NOT_CONNECTED"
+        assert snap["stats"]["leaves"] == 1

@@ -1,0 +1,222 @@
+"""Tests for the legacy §2.2 protocol stack — including its flaws.
+
+The flaws are features here: tests assert both that the protocol works
+for honest parties AND that the documented weaknesses behave exactly as
+§2.3 describes (those are the baselines the attack matrix relies on).
+"""
+
+import pytest
+
+from repro.enclaves.common import (
+    AppMessage,
+    Denied,
+    GroupKeyChanged,
+    Joined,
+    Left,
+    MemberJoined,
+    MemberLeft,
+    Rejected,
+    RekeyPolicy,
+)
+from repro.enclaves.legacy.leader import LegacyLeaderState
+from repro.enclaves.legacy.member import LegacyMemberState
+from repro.exceptions import StateError
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+from tests.conftest import LegacyGroup
+
+
+class TestHonestOperation:
+    def test_join_flow(self):
+        group = LegacyGroup(["alice"]).join_all()
+        assert group.leader.members == ["alice"]
+        alice = group.members["alice"]
+        assert alice.state is LegacyMemberState.CONNECTED
+        assert alice.current_group_key is not None
+
+    def test_multi_member_views(self):
+        group = LegacyGroup(["alice", "bob", "carol"]).join_all()
+        for member in group.members.values():
+            assert member.membership == {"alice", "bob", "carol"}
+
+    def test_chat_relay(self):
+        group = LegacyGroup(["alice", "bob"]).join_all()
+        group.net.post(group.members["alice"].seal_app(b"hey"))
+        group.net.run()
+        assert group.net.events_of("bob", AppMessage) == [
+            AppMessage("alice", b"hey")
+        ]
+
+    def test_leave(self):
+        group = LegacyGroup(["alice", "bob"]).join_all()
+        group.net.post(group.members["alice"].start_leave())
+        group.net.run()
+        assert group.leader.members == ["bob"]
+        assert group.members["bob"].membership == {"bob"}
+
+    def test_rekey_roundtrip(self):
+        group = LegacyGroup(["alice", "bob"]).join_all()
+        fp_before = group.members["alice"].group_key_fingerprint
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()
+        fp_after = group.members["alice"].group_key_fingerprint
+        assert fp_after != fp_before
+        assert group.members["bob"].group_key_fingerprint == fp_after
+
+    def test_rekey_on_leave_policy(self):
+        group = LegacyGroup(
+            ["alice", "bob"], rekey_policy=RekeyPolicy.ON_LEAVE
+        ).join_all()
+        fp = group.members["bob"].group_key_fingerprint
+        group.net.post(group.members["alice"].start_leave())
+        group.net.run()
+        assert group.members["bob"].group_key_fingerprint != fp
+
+    def test_denied_unknown_user(self):
+        group = LegacyGroup(["alice"]).join_all()
+        group.net.inject(Envelope(Label.REQ_OPEN, "ghost", "leader", b""))
+        group.net.run()
+        # The legacy leader answers with an explicit plaintext denial.
+        denials = [e for e in group.net.wire_log
+                   if e.label is Label.CONNECTION_DENIED]
+        assert denials and denials[0].recipient == "ghost"
+
+    def test_expel(self):
+        group = LegacyGroup(["alice", "bob"]).join_all()
+        group.net.post_all(group.leader.expel("alice"))
+        group.net.run()
+        assert group.leader.members == ["bob"]
+        assert group.members["alice"].state is LegacyMemberState.NOT_CONNECTED
+
+    def test_expel_nonmember_fails(self):
+        group = LegacyGroup(["alice"]).join_all()
+        with pytest.raises(StateError):
+            group.leader.expel("ghost")
+
+    def test_cannot_join_twice(self):
+        group = LegacyGroup(["alice"]).join_all()
+        with pytest.raises(StateError):
+            group.members["alice"].start_join()
+
+    def test_auth_replay_rejected(self):
+        # Even legacy auth resists replay (fresh N2 per session).
+        group = LegacyGroup(["alice"]).join_all()
+        group.net.post(group.members["alice"].start_leave())
+        group.net.run()
+        for envelope in [e for e in group.net.wire_log
+                         if e.sender == "alice"]:
+            group.net.inject(envelope)
+        group.net.run()
+        assert group.leader.members == []
+
+
+class TestDocumentedFlaws:
+    def test_forged_denial_accepted(self):
+        """§2.3: the denial is unauthenticated and the member trusts it."""
+        group = LegacyGroup([])
+        creds = group.directory.register_password("alice", "pw")
+        from repro.crypto.rng import DeterministicRandom
+        from repro.enclaves.harness import wire
+        from repro.enclaves.legacy.member import LegacyMemberProtocol
+
+        alice = LegacyMemberProtocol(creds, "leader", DeterministicRandom(5))
+        wire(group.net, "alice", alice)
+        alice.start_join()  # now WAITING_OPEN; don't deliver to leader
+        group.net.inject(
+            Envelope(Label.CONNECTION_DENIED, "leader", "alice", b"")
+        )
+        group.net.run()
+        assert alice.state is LegacyMemberState.NOT_CONNECTED
+        assert any(isinstance(e, Denied)
+                   for e in group.net.events_of("alice"))
+
+    def test_plaintext_close_forgeable(self):
+        """The plaintext req_close disconnects anyone."""
+        group = LegacyGroup(["alice", "bob"]).join_all()
+        group.net.inject(
+            Envelope(Label.REQ_CLOSE_LEGACY, "alice", "leader", b"")
+        )
+        group.net.run()
+        assert "alice" not in group.leader.members
+
+    def test_new_key_replay_accepted(self):
+        """§2.3: new_key has no freshness; a replay re-installs a key."""
+        group = LegacyGroup(["alice"]).join_all()
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()
+        replayable = [e for e in group.net.wire_log
+                      if e.label is Label.NEW_KEY][-1]
+        old_fp = group.members["alice"].group_key_fingerprint
+        group.net.post_all(group.leader.rekey_now())
+        group.net.run()
+        assert group.members["alice"].group_key_fingerprint != old_fp
+        group.net.inject(replayable)
+        group.net.run()
+        # The member reverted to the replayed (older) key.
+        assert group.members["alice"].group_key_fingerprint == old_fp
+
+    def test_mem_removed_forgeable_by_member(self):
+        """§2.3: any member can forge membership notices."""
+        from repro.crypto.aead import AuthenticatedCipher
+        from repro.enclaves.itgm.member import seal_ad
+        from repro.wire.codec import encode_fields, encode_str
+
+        group = LegacyGroup(["mallory", "bob"]).join_all()
+        key = group.members["mallory"].current_group_key
+        body = AuthenticatedCipher(key).seal(
+            encode_fields([encode_str("mallory")]),
+            seal_ad(Label.MEM_REMOVED, "leader", "bob"),
+        ).to_bytes()
+        group.net.inject(Envelope(Label.MEM_REMOVED, "leader", "bob", body))
+        group.net.run()
+        assert "mallory" not in group.members["bob"].membership
+        assert "mallory" in group.leader.members  # view is now wrong
+
+
+class TestRejections:
+    def test_auth2_wrong_nonce_rejected(self):
+        group = LegacyGroup([])
+        creds = group.directory.register_password("alice", "pw")
+        from repro.crypto.aead import AuthenticatedCipher
+        from repro.crypto.rng import DeterministicRandom
+        from repro.enclaves.harness import wire
+        from repro.enclaves.itgm.member import seal_ad
+        from repro.enclaves.legacy.member import LegacyMemberProtocol
+        from repro.wire.codec import encode_fields, encode_str
+
+        alice = LegacyMemberProtocol(creds, "leader", DeterministicRandom(6))
+        wire(group.net, "alice", alice)
+        alice.start_join()
+        alice.handle(Envelope(Label.ACK_OPEN, "leader", "alice", b""))
+        # Craft auth2 with a wrong N1.
+        cipher = AuthenticatedCipher(creds.long_term_key)
+        body = cipher.seal(
+            encode_fields([encode_str("leader"), encode_str("alice"),
+                           b"\x66" * 16, b"\x77" * 16, bytes(32), bytes(32)]),
+            seal_ad(Label.LEGACY_AUTH_2, "leader", "alice"),
+        ).to_bytes()
+        _, events = alice.handle(
+            Envelope(Label.LEGACY_AUTH_2, "leader", "alice", body)
+        )
+        assert alice.state is LegacyMemberState.WAITING_FOR_KEY
+        assert any(isinstance(e, Rejected) for e in events)
+
+    def test_auth1_without_req_open_rejected(self):
+        group = LegacyGroup(["alice"]).join_all()
+        # Fresh user sends auth1 directly without pre-auth: rejected.
+        group.directory.register_password("eve", "pw-eve")
+        group.net.inject(
+            Envelope(Label.LEGACY_AUTH_1, "eve", "leader", b"\x00" * 60)
+        )
+        group.net.run()
+        assert "eve" not in group.leader.members
+
+    def test_garbage_everywhere_no_crash(self):
+        group = LegacyGroup(["alice", "bob"]).join_all()
+        for label in Label:
+            group.net.inject(Envelope(label, "alice", "leader", b"\xde\xad"))
+            group.net.inject(Envelope(label, "leader", "bob", b"\xbe\xef"))
+        group.net.run()
+        # Honest members still in the group; no exception raised.
+        assert "bob" in group.leader.members

@@ -1,0 +1,126 @@
+"""Tests for composable access policies."""
+
+import pytest
+
+from repro.enclaves.itgm.leader import LeaderConfig
+from repro.enclaves.itgm.member import MemberState
+from repro.enclaves.policies import (
+    AllowAll,
+    Allowlist,
+    Denylist,
+    MaxGroupSize,
+    TimeWindow,
+)
+from repro.util.clock import VirtualClock
+
+from tests.conftest import ItgmGroup
+
+
+class TestBasicPolicies:
+    def test_allow_all(self):
+        assert AllowAll()("anyone")
+
+    def test_allowlist(self):
+        policy = Allowlist({"alice", "bob"})
+        assert policy("alice") and policy("bob")
+        assert not policy("mallory")
+
+    def test_denylist(self):
+        policy = Denylist({"mallory"})
+        assert policy("alice")
+        assert not policy("mallory")
+
+    def test_max_group_size(self):
+        members = ["a", "b"]
+        policy = MaxGroupSize(lambda: members, 2)
+        assert not policy("c")       # full
+        assert policy("a")           # existing member is never blocked
+        members.pop()
+        assert policy("c")           # space again
+
+    def test_max_group_size_validation(self):
+        with pytest.raises(ValueError):
+            MaxGroupSize(lambda: [], 0)
+
+    def test_time_window(self):
+        clock = VirtualClock(5.0)
+        policy = TimeWindow(10.0, 20.0, clock)
+        assert not policy("alice")
+        clock.set(10.0)
+        assert policy("alice")
+        clock.set(19.999)
+        assert policy("alice")
+        clock.set(20.0)
+        assert not policy("alice")
+
+    def test_time_window_validation(self):
+        with pytest.raises(ValueError):
+            TimeWindow(10.0, 10.0)
+
+
+class TestComposition:
+    def test_and(self):
+        policy = Allowlist({"alice", "mallory"}) & Denylist({"mallory"})
+        assert policy("alice")
+        assert not policy("mallory")
+        assert not policy("bob")
+
+    def test_or(self):
+        policy = Allowlist({"alice"}) | Allowlist({"bob"})
+        assert policy("alice") and policy("bob")
+        assert not policy("carol")
+
+    def test_invert(self):
+        policy = ~Allowlist({"alice"})
+        assert not policy("alice")
+        assert policy("bob")
+
+    def test_compose_with_plain_callable(self):
+        policy = AllowAll() & (lambda uid: uid.startswith("user-"))
+        assert policy("user-1")
+        assert not policy("admin")
+
+    def test_reprs(self):
+        text = repr(Allowlist({"a"}) & ~Denylist({"b"}))
+        assert "Allowlist" in text and "Denylist" in text
+
+
+class TestPoliciesOnTheLeader:
+    def test_allowlist_gates_joins(self):
+        config = LeaderConfig(access_policy=Allowlist({"alice"}))
+        group = ItgmGroup(["alice"], config=config).join_all()
+        assert group.leader.members == ["alice"]
+        bob = group.add_member("bob")
+        group.net.post(bob.start_join())
+        group.net.run()
+        assert group.leader.members == ["alice"]
+        assert bob.state is MemberState.WAITING_FOR_KEY  # silent denial
+
+    def test_max_group_size_gates_joins(self):
+        group = ItgmGroup([])
+        policy = MaxGroupSize.of_leader(group.leader, 2)
+        group.leader.config = LeaderConfig(access_policy=policy)
+        for name in ("a", "b", "c"):
+            member = group.add_member(name)
+            group.net.post(member.start_join())
+            group.net.run()
+        assert group.leader.members == ["a", "b"]
+
+    def test_cap_frees_after_leave(self):
+        group = ItgmGroup([])
+        policy = MaxGroupSize.of_leader(group.leader, 1)
+        group.leader.config = LeaderConfig(access_policy=policy)
+        first = group.add_member("first")
+        group.net.post(first.start_join())
+        group.net.run()
+        blocked = group.add_member("second")
+        group.net.post(blocked.start_join())
+        group.net.run()
+        assert group.leader.members == ["first"]
+        group.net.post(first.start_leave())
+        group.net.run()
+        # A new attempt (fresh nonce) now succeeds.
+        blocked._reset_session()
+        group.net.post(blocked.start_join())
+        group.net.run()
+        assert group.leader.members == ["second"]

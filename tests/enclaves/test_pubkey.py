@@ -1,0 +1,106 @@
+"""Tests for public-key credential provisioning (the §2.2 footnote)."""
+
+import pytest
+
+from repro.crypto.dh import generate_keypair
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.leader import GroupLeader
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.enclaves.pubkey import PublicKeyInfrastructure
+from repro.exceptions import CryptoError
+
+
+class TestProvisioning:
+    def test_enrolled_user_and_leader_agree_on_pa(self):
+        pki = PublicKeyInfrastructure.create(
+            "leader", DeterministicRandom(0)
+        )
+        creds = pki.enroll_user("alice", DeterministicRandom(1))
+        directory = pki.leader_directory()
+        assert directory.lookup("alice") == creds.long_term_key
+
+    def test_users_get_distinct_keys(self):
+        pki = PublicKeyInfrastructure.create("leader", DeterministicRandom(0))
+        a = pki.enroll_user("alice", DeterministicRandom(1))
+        b = pki.enroll_user("bob", DeterministicRandom(2))
+        assert a.long_term_key != b.long_term_key
+
+    def test_register_existing_user(self):
+        pki = PublicKeyInfrastructure.create("leader", DeterministicRandom(0))
+        pair = generate_keypair(DeterministicRandom(5))
+        pki.register_existing_user("carol", pair.public)
+        directory = pki.leader_directory()
+        # Carol derives her own side and must match.
+        from repro.crypto.dh import derive_pairwise_long_term_key
+
+        own = derive_pairwise_long_term_key(
+            pair, pki.leader_public_key, "carol", "leader"
+        )
+        assert directory.lookup("carol") == own
+
+    def test_register_bad_public_key_rejected(self):
+        pki = PublicKeyInfrastructure.create("leader", DeterministicRandom(0))
+        with pytest.raises(CryptoError):
+            pki.register_existing_user("mallory", 1)
+
+
+class TestEndToEnd:
+    def test_full_protocol_over_dh_credentials(self):
+        """The §3.2 protocol runs unchanged over DH-provisioned P_a."""
+        pki = PublicKeyInfrastructure.create("leader", DeterministicRandom(0))
+        alice_creds = pki.enroll_user("alice", DeterministicRandom(1))
+        bob_creds = pki.enroll_user("bob", DeterministicRandom(2))
+
+        net = SyncNetwork()
+        leader = GroupLeader("leader", pki.leader_directory(),
+                             rng=DeterministicRandom(3))
+        wire(net, "leader", leader)
+        alice = MemberProtocol(alice_creds, "leader", DeterministicRandom(4))
+        bob = MemberProtocol(bob_creds, "leader", DeterministicRandom(5))
+        wire(net, "alice", alice)
+        wire(net, "bob", bob)
+
+        net.post(alice.start_join())
+        net.run()
+        net.post(bob.start_join())
+        net.run()
+        assert leader.members == ["alice", "bob"]
+        assert alice.state is MemberState.CONNECTED
+        assert alice.membership == {"alice", "bob"}
+
+        net.post(alice.seal_app(b"dh-provisioned chat"))
+        net.run()
+        from repro.enclaves.common import AppMessage
+
+        assert net.events_of("bob", AppMessage) == [
+            AppMessage("alice", b"dh-provisioned chat")
+        ]
+
+    def test_wrong_keypair_cannot_join(self):
+        """A user presenting a key pair the leader never registered is
+        just an unknown long-term key: authentication fails silently."""
+        pki = PublicKeyInfrastructure.create("leader", DeterministicRandom(0))
+        pki.enroll_user("alice", DeterministicRandom(1))
+        # Mallory derives credentials from her own key pair, claiming
+        # to be alice.
+        from repro.crypto.dh import derive_pairwise_long_term_key
+        from repro.enclaves.common import Credentials
+
+        mallory_pair = generate_keypair(DeterministicRandom(99))
+        fake_creds = Credentials(
+            "alice",
+            derive_pairwise_long_term_key(
+                mallory_pair, pki.leader_public_key, "alice", "leader"
+            ),
+        )
+        net = SyncNetwork()
+        leader = GroupLeader("leader", pki.leader_directory(),
+                             rng=DeterministicRandom(3))
+        wire(net, "leader", leader)
+        mallory = MemberProtocol(fake_creds, "leader", DeterministicRandom(6))
+        wire(net, "alice", mallory)
+        net.post(mallory.start_join())
+        net.run()
+        assert leader.members == []
+        assert mallory.state is MemberState.WAITING_FOR_KEY  # stuck

@@ -1,0 +1,40 @@
+"""Tests for formal events and traces."""
+
+from repro.formal.events import Msg, MsgLabel, Oops, contents_of
+from repro.formal.fields import Agent, Crypt, NonceF, SessionK, concat
+
+
+class TestEvents:
+    def test_msg_fields(self):
+        content = Crypt(SessionK(1), concat(Agent("A"), NonceF(1)))
+        msg = Msg(MsgLabel.ADMIN_MSG, "L", "A", content)
+        assert msg.content == content
+        assert "AdminMsg" in repr(msg)
+
+    def test_oops(self):
+        oops = Oops(SessionK(3))
+        assert oops.content == SessionK(3)
+        assert "Oops" in repr(oops)
+
+    def test_events_hashable(self):
+        a = Msg(MsgLabel.ACK, "A", "L", NonceF(1))
+        b = Msg(MsgLabel.ACK, "A", "L", NonceF(1))
+        assert a == b
+        assert len({a, b, Oops(SessionK(1))}) == 2
+
+    def test_contents_of(self):
+        trace = (
+            Msg(MsgLabel.AUTH_INIT_REQ, "A", "L", NonceF(1)),
+            Oops(SessionK(2)),
+            Msg(MsgLabel.ACK, "A", "L", NonceF(3)),
+        )
+        assert contents_of(trace) == (NonceF(1), SessionK(2), NonceF(3))
+
+    def test_contents_of_empty(self):
+        assert contents_of(()) == ()
+
+    def test_labels_cover_protocol(self):
+        names = {label.value for label in MsgLabel}
+        for expected in ("AuthInitReq", "AuthKeyDist", "AuthAckKey",
+                         "AdminMsg", "Ack", "ReqClose", "Spy"):
+            assert expected in names

@@ -1,0 +1,93 @@
+"""Tests for the symbolic field algebra."""
+
+import pytest
+
+from repro.formal.fields import (
+    Agent,
+    Concat,
+    Crypt,
+    Data,
+    LongTerm,
+    NonceF,
+    SessionK,
+    concat,
+    crypt,
+    is_atomic,
+    is_key,
+    subfields,
+)
+
+
+class TestConstruction:
+    def test_primitives_hashable_and_equal(self):
+        assert Agent("A") == Agent("A")
+        assert NonceF(1) == NonceF(1)
+        assert SessionK(2) == SessionK(2)
+        assert LongTerm("A") == LongTerm("A")
+        assert Data(3) == Data(3)
+        assert len({Agent("A"), Agent("A"), Agent("B")}) == 2
+
+    def test_sorts_disjoint(self):
+        # §4: agent identities, nonces, keys are mutually disjoint sets.
+        assert NonceF(1) != SessionK(1)
+        assert NonceF(1) != Data(1)
+        assert Agent("A") != LongTerm("A")
+
+    def test_concat(self):
+        c = concat(Agent("A"), NonceF(1))
+        assert isinstance(c, Concat)
+        assert c.parts == (Agent("A"), NonceF(1))
+
+    def test_crypt_requires_key(self):
+        with pytest.raises(TypeError):
+            Crypt(Agent("A"), NonceF(1))
+        with pytest.raises(TypeError):
+            Crypt(NonceF(1), Agent("A"))
+
+    def test_crypt_helper(self):
+        single = crypt(SessionK(1), NonceF(2))
+        assert single.body == NonceF(2)
+        multi = crypt(SessionK(1), Agent("A"), NonceF(2))
+        assert multi.body == Concat((Agent("A"), NonceF(2)))
+
+    def test_nesting(self):
+        inner = crypt(SessionK(1), NonceF(1))
+        outer = crypt(LongTerm("A"), inner, Agent("A"))
+        assert isinstance(outer.body, Concat)
+
+    def test_is_key(self):
+        assert is_key(SessionK(1))
+        assert is_key(LongTerm("A"))
+        assert not is_key(NonceF(1))
+        assert not is_key(Agent("A"))
+
+    def test_is_atomic(self):
+        assert is_atomic(Agent("A"))
+        assert is_atomic(Data(1))
+        assert not is_atomic(concat(Agent("A")))
+        assert not is_atomic(crypt(SessionK(1), NonceF(1)))
+
+    def test_reprs_readable(self):
+        f = crypt(LongTerm("A"), Agent("A"), NonceF(3))
+        text = repr(f)
+        assert "P(A)" in text and "N3" in text
+
+
+class TestSubfields:
+    def test_includes_crypt_key(self):
+        f = crypt(SessionK(9), NonceF(1))
+        subs = set(subfields(f))
+        assert SessionK(9) in subs  # syntactic subterms include the key
+        assert NonceF(1) in subs
+        assert f in subs
+
+    def test_deep_nesting(self):
+        f = concat(
+            crypt(LongTerm("A"), concat(NonceF(1), SessionK(2))),
+            Agent("B"),
+        )
+        subs = set(subfields(f))
+        assert NonceF(1) in subs
+        assert SessionK(2) in subs
+        assert Agent("B") in subs
+        assert LongTerm("A") in subs

@@ -1,0 +1,97 @@
+"""Tests for ideals/coideals — the §5.2 machinery."""
+
+from repro.formal.fields import (
+    Agent,
+    LongTerm,
+    NonceF,
+    SessionK,
+    concat,
+    crypt,
+)
+from repro.formal.ideals import (
+    coideal_contains,
+    ideal_parts_lemma_applies,
+    in_ideal,
+    trace_in_coideal,
+)
+
+A, L = Agent("A"), Agent("L")
+Pa = LongTerm("A")
+Pb = LongTerm("B")
+Ka = SessionK(1)
+N = NonceF(1)
+S = frozenset({Ka, Pa})  # the paper's secret set {K_a, P_a}
+
+
+class TestIdealMembership:
+    def test_secrets_in_ideal(self):
+        assert in_ideal(Ka, S)
+        assert in_ideal(Pa, S)
+
+    def test_public_atoms_not_in_ideal(self):
+        assert not in_ideal(A, S)
+        assert not in_ideal(N, S)
+        assert not in_ideal(Pb, S)
+
+    def test_concat_with_secret(self):
+        assert in_ideal(concat(A, Ka), S)
+        assert in_ideal(concat(Ka, A), S)
+        assert not in_ideal(concat(A, N), S)
+
+    def test_paper_example(self):
+        # "{X, Y, K_a}_{P_b} belongs to I(S) as any agent in possession
+        #  of P_b can obtain K_a from this field."
+        f = crypt(Pb, concat(A, N, Ka))
+        assert in_ideal(f, S)
+
+    def test_encryption_under_secret_key_protects(self):
+        # {K_a}_{P_a}: P_a ∈ S so this ciphertext is NOT in the ideal —
+        # nobody outside {A, L} can open it.
+        assert not in_ideal(crypt(Pa, Ka), S)
+        assert not in_ideal(crypt(Ka, concat(A, L)), S)
+
+    def test_deep_nesting(self):
+        # Ka buried two levels under non-secret keys: still extractable.
+        f = crypt(Pb, concat(A, crypt(SessionK(9), Ka)))
+        assert in_ideal(f, S)
+
+    def test_coideal_is_complement(self):
+        for f in (Ka, A, concat(A, Ka), crypt(Pa, Ka), crypt(Pb, Ka)):
+            assert coideal_contains(f, S) == (not in_ideal(f, S))
+
+
+class TestTraceChecks:
+    def test_protocol_messages_in_coideal(self):
+        # Every §3.2 message shape stays in C({K_a, P_a}).
+        messages = [
+            crypt(Pa, concat(A, L, N)),                      # AuthInitReq
+            crypt(Pa, concat(L, A, N, NonceF(2), Ka)),       # AuthKeyDist
+            crypt(Ka, concat(A, L, NonceF(2), NonceF(3))),   # AuthAckKey
+            crypt(Ka, concat(L, A, NonceF(3), NonceF(4), Agent("X"))),
+            crypt(Ka, concat(A, L)),                          # ReqClose
+        ]
+        assert trace_in_coideal(messages, S)
+
+    def test_leak_detected(self):
+        messages = [crypt(Pb, concat(L, A, N, NonceF(2), Ka))]
+        assert not trace_in_coideal(messages, S)
+
+    def test_bare_secret_detected(self):
+        assert not trace_in_coideal([Ka], S)
+        assert not trace_in_coideal([concat(A, Pa)], S)
+
+
+class TestIdealPartsLemma:
+    def test_premise_implies_conclusion(self):
+        # If Parts(E) ∩ S = ∅ then E ⊆ C(S) — check on sample sets.
+        samples = [
+            frozenset({A, N, concat(A, N)}),
+            frozenset({crypt(Pb, N), Pb}),
+            frozenset({crypt(Pa, N)}),  # body has no secret
+        ]
+        for e in samples:
+            if ideal_parts_lemma_applies(e, S):
+                assert all(coideal_contains(f, S) for f in e)
+
+    def test_premise_fails_when_secret_present(self):
+        assert not ideal_parts_lemma_applies(frozenset({concat(A, Ka)}), S)

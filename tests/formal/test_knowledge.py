@@ -1,0 +1,130 @@
+"""Tests for Parts / Analz / Synth — the §4.2 operators."""
+
+from repro.formal.fields import (
+    Agent,
+    Data,
+    LongTerm,
+    NonceF,
+    SessionK,
+    concat,
+    crypt,
+)
+from repro.formal.knowledge import KnowledgeState, analz, can_synth, parts
+
+A, L = Agent("A"), Agent("L")
+Pa = LongTerm("A")
+K = SessionK(1)
+N1, N2 = NonceF(1), NonceF(2)
+
+
+class TestParts:
+    def test_includes_self(self):
+        assert parts([N1]) == frozenset({N1})
+
+    def test_descends_concat(self):
+        f = concat(A, N1)
+        assert parts([f]) == frozenset({f, A, N1})
+
+    def test_descends_crypt_body_not_key(self):
+        f = crypt(K, N1)
+        p = parts([f])
+        assert N1 in p
+        assert K not in p  # the encrypting key is NOT a part
+
+    def test_nested(self):
+        f = crypt(Pa, concat(L, A, N1, N2, K))
+        p = parts([f])
+        assert {f, L, A, N1, N2, K} <= p
+        assert Pa not in p
+
+    def test_union(self):
+        assert parts([N1, N2]) == frozenset({N1, N2})
+
+
+class TestAnalz:
+    def test_concat_opens(self):
+        assert N1 in analz([concat(A, N1)])
+
+    def test_crypt_closed_without_key(self):
+        f = crypt(K, N1)
+        known = analz([f])
+        assert N1 not in known
+        assert f in known  # the ciphertext itself is known
+
+    def test_crypt_opens_with_key(self):
+        assert N1 in analz([crypt(K, N1), K])
+
+    def test_key_arriving_later_unlocks(self):
+        state = KnowledgeState.empty().add(crypt(K, N1))
+        assert not state.knows(N1)
+        state = state.add(K)
+        assert state.knows(N1)
+
+    def test_chained_unlock(self):
+        # {K}_{K2} and later K2 -> K -> opens {N1}_K.
+        k2 = SessionK(2)
+        state = KnowledgeState.empty()
+        state = state.add(crypt(K, N1))
+        state = state.add(crypt(k2, K))
+        assert not state.knows(N1)
+        state = state.add(k2)
+        assert state.knows(K)
+        assert state.knows(N1)
+
+    def test_nested_concat_in_crypt(self):
+        f = crypt(K, concat(N1, concat(N2, A)))
+        known = analz([f, K])
+        assert {N1, N2, A} <= known
+
+    def test_analz_subset_parts(self):
+        fields = [crypt(Pa, concat(L, A, N1, N2, K)), concat(A, N1), K]
+        assert analz(fields) <= parts(fields) | frozenset(fields)
+
+    def test_idempotent_add(self):
+        state = KnowledgeState.empty().add(N1)
+        assert state.add(N1) is state
+
+    def test_equality_and_hash(self):
+        s1 = KnowledgeState.from_fields([N1, crypt(K, N2)])
+        s2 = KnowledgeState.empty().add(crypt(K, N2)).add(N1)
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+
+class TestSynth:
+    def test_known_field(self):
+        assert can_synth(N1, frozenset({N1}))
+
+    def test_agents_and_data_public(self):
+        assert can_synth(A, frozenset())
+        assert can_synth(Data(7), frozenset())
+
+    def test_unknown_nonce_not_synthesizable(self):
+        assert not can_synth(N1, frozenset())
+
+    def test_unknown_key_not_synthesizable(self):
+        assert not can_synth(K, frozenset())
+
+    def test_concat_of_known(self):
+        assert can_synth(concat(A, N1), frozenset({N1}))
+        assert not can_synth(concat(A, N1), frozenset())
+
+    def test_crypt_requires_key_in_set(self):
+        assert can_synth(crypt(K, concat(A, N1)), frozenset({K, N1}))
+        assert not can_synth(crypt(K, concat(A, N1)), frozenset({N1}))
+        assert not can_synth(crypt(K, concat(A, N1)), frozenset({K}))
+
+    def test_replay_of_whole_ciphertext(self):
+        # A ciphertext in the set can be re-sent even without the key.
+        f = crypt(K, N1)
+        assert can_synth(f, frozenset({f}))
+
+    def test_cannot_resynthesize_under_unknown_key(self):
+        # Knowing {N1}_K does not allow making {N2}_K.
+        f = crypt(K, N1)
+        assert not can_synth(crypt(K, N2), frozenset({f, N2}))
+
+    def test_can_generate_via_state(self):
+        state = KnowledgeState.from_fields([K, N1])
+        assert state.can_generate(crypt(K, concat(A, N1)))
+        assert not state.can_generate(crypt(SessionK(99), A))

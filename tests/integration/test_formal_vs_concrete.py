@@ -1,0 +1,178 @@
+"""Cross-checks between the formal model and the concrete runtime.
+
+The formal model and the concrete implementation are separate artifacts;
+these tests pin the correspondences the reproduction relies on:
+
+* the FSM state graphs match Figures 2/3 exactly, in both artifacts;
+* the concrete stack satisfies the same observable properties the
+  formal model proves (prefix, agreement, authentication-counting)
+  along matched scenario scripts.
+"""
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import Credentials
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.formal.model import (
+    EnclavesModel,
+    LConnected,
+    LNotConnected,
+    LWaitingForAck,
+    LWaitingForKeyAck,
+    ModelConfig,
+    UConnected,
+    UNotConnected,
+    UWaitingForKey,
+)
+
+
+def make_pair(seed=0):
+    creds = Credentials.from_password("alice", "pw")
+    rng = DeterministicRandom(seed)
+    member = MemberProtocol(creds, "leader", rng.fork("m"))
+    session = LeaderSession("leader", "alice", creds.long_term_key,
+                            rng.fork("l"))
+    return member, session
+
+
+# Map concrete FSM states to formal state classes.
+USER_STATE_MAP = {
+    MemberState.NOT_CONNECTED: UNotConnected,
+    MemberState.WAITING_FOR_KEY: UWaitingForKey,
+    MemberState.CONNECTED: UConnected,
+}
+LEADER_STATE_MAP = {
+    LeaderState.NOT_CONNECTED: LNotConnected,
+    LeaderState.WAITING_FOR_KEY_ACK: LWaitingForKeyAck,
+    LeaderState.CONNECTED: LConnected,
+    LeaderState.WAITING_FOR_ACK: LWaitingForAck,
+}
+
+
+class TestStateGraphsMatch:
+    def test_state_sets_match_figures(self):
+        # Figure 2: three user states; Figure 3: four leader states.
+        assert len(USER_STATE_MAP) == 3
+        assert len(LEADER_STATE_MAP) == 4
+
+    def test_happy_path_state_sequences_align(self):
+        """Drive the concrete pair and the formal model through the same
+        script; the visited state shapes must match step for step."""
+        member, session = make_pair()
+        model = EnclavesModel(ModelConfig(max_admin=1))
+        q = model.initial_state()
+
+        def states(q):
+            return type(q.usr).__name__, type(q.lead).__name__
+
+        def concrete_states():
+            return (
+                USER_STATE_MAP[member.state].__name__,
+                LEADER_STATE_MAP[session.state].__name__,
+            )
+
+        trail = [(states(q), concrete_states())]
+
+        def formal_step(prefix):
+            nonlocal q
+            (t,) = [t for t in model.successors(q)
+                    if t.description.startswith(prefix)]
+            q = t.target
+
+        # join
+        req = member.start_join()
+        formal_step("A sends AuthInitReq")
+        trail.append((states(q), concrete_states()))
+        out1, _ = session.handle(req)
+        formal_step("L answers AuthInitReq")
+        trail.append((states(q), concrete_states()))
+        out2, _ = member.handle(out1[0])
+        formal_step("A accepts AuthKeyDist")
+        trail.append((states(q), concrete_states()))
+        session.handle(out2[0])
+        formal_step("L accepts AuthAckKey")
+        trail.append((states(q), concrete_states()))
+        # one admin exchange
+        env = session.send_admin(TextPayload("x"))
+        formal_step("L sends AdminMsg")
+        trail.append((states(q), concrete_states()))
+        out3, _ = member.handle(env)
+        formal_step("A accepts AdminMsg")
+        trail.append((states(q), concrete_states()))
+        session.handle(out3[0])
+        formal_step("L accepts Ack")
+        trail.append((states(q), concrete_states()))
+        # close
+        close = member.start_leave()
+        formal_step("A sends ReqClose")
+        trail.append((states(q), concrete_states()))
+        session.handle(close)
+        formal_step("L closes A's session")
+        trail.append((states(q), concrete_states()))
+
+        for formal, concrete in trail:
+            assert formal == concrete, trail
+
+    def test_both_reject_close_in_waiting_for_key_ack(self):
+        # Formal model: no leader-close transition from WFKA.
+        model = EnclavesModel(ModelConfig())
+        q = model.initial_state()
+        (t,) = [t for t in model.successors(q)
+                if t.description.startswith("A sends AuthInitReq")]
+        q = t.target
+        (t,) = [t for t in model.successors(q)
+                if t.description.startswith("L answers")]
+        q = t.target
+        assert not any("closes" in t.description
+                       for t in model.successors(q))
+        # Concrete: covered by
+        # test_leader_session.TestClose.test_close_not_honored_in_waiting_for_key_ack
+
+
+class TestObservablePropertiesConcrete:
+    def test_prefix_holds_at_every_step(self):
+        """Replicate check_prefix on the concrete pair at every point of
+        a long admin conversation."""
+        member, session = make_pair()
+        req = member.start_join()
+        out1, _ = session.handle(req)
+        out2, _ = member.handle(out1[0])
+        session.handle(out2[0])
+
+        def assert_prefix():
+            snd, rcv = session.admin_log, member.admin_log
+            assert rcv == snd[: len(rcv)]
+
+        for i in range(6):
+            env = session.send_admin(TextPayload(f"p{i}"))
+            assert_prefix()
+            out, _ = member.handle(env)
+            assert_prefix()
+            session.handle(out[0])
+            assert_prefix()
+
+    def test_agreement_when_both_connected(self):
+        member, session = make_pair()
+        req = member.start_join()
+        out1, _ = session.handle(req)
+        out2, _ = member.handle(out1[0])
+        session.handle(out2[0])
+        # Both Connected: nonce agreement is internal; check via a
+        # successful admin roundtrip (would fail on disagreement).
+        env = session.send_admin(TextPayload("agree?"))
+        out, events = member.handle(env)
+        assert member.admin_log == [TextPayload("agree?")]
+
+    def test_acceptance_counting(self):
+        """L's sessions-opened count never exceeds A's join attempts."""
+        member, session = make_pair()
+        for _ in range(3):
+            req = member.start_join()
+            out1, _ = session.handle(req)
+            out2, _ = member.handle(out1[0])
+            session.handle(out2[0])
+            close = member.start_leave()
+            session.handle(close)
+        assert session.stats.sessions_opened == 3
+        assert session.stats.sessions_closed == 3

@@ -1,0 +1,94 @@
+"""Integration: the full protocol stack over real TCP sockets."""
+
+import asyncio
+
+from repro.enclaves.common import AppMessage, UserDirectory
+from repro.enclaves.itgm import (
+    GroupLeader,
+    LeaderRuntime,
+    MemberClient,
+    TextPayload,
+)
+from repro.net.tcp import TcpTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTcpEndToEnd:
+    def test_join_chat_leave_over_tcp(self):
+        async def scenario():
+            transport = TcpTransport(port=0)
+            directory = UserDirectory()
+            creds = {n: directory.register_password(n, f"pw-{n}")
+                     for n in ("ann", "ben")}
+            leader = GroupLeader("leader", directory)
+            runtime = LeaderRuntime(leader, await transport.attach("leader"))
+            runtime.start()
+            try:
+                ann = MemberClient(creds["ann"], "leader",
+                                   await transport.attach("ann"))
+                ben = MemberClient(creds["ben"], "leader",
+                                   await transport.attach("ben"))
+                await ann.join(timeout=5)
+                await ben.join(timeout=5)
+                assert leader.members == ["ann", "ben"]
+
+                await ann.send_app(b"over real sockets")
+                await asyncio.sleep(0.1)
+                events = await ben.drain_events()
+                assert any(
+                    isinstance(e, AppMessage)
+                    and e.payload == b"over real sockets"
+                    for e in events
+                )
+
+                await runtime.broadcast_admin(TextPayload("notice"))
+                await asyncio.sleep(0.1)
+                assert TextPayload("notice") in ann.protocol.admin_log
+                assert TextPayload("notice") in ben.protocol.admin_log
+
+                await ann.leave()
+                await asyncio.sleep(0.1)
+                assert leader.members == ["ben"]
+                await ann.stop()
+                await ben.stop()
+            finally:
+                await runtime.stop()
+
+        run(scenario())
+
+    def test_tcp_attacker_client_rejected(self):
+        """A hostile TCP client spamming forged frames cannot join or
+        disturb the group."""
+        async def scenario():
+            from repro.wire.labels import Label
+            from repro.wire.message import Envelope
+
+            transport = TcpTransport(port=0)
+            directory = UserDirectory()
+            creds = directory.register_password("alice", "pw")
+            leader = GroupLeader("leader", directory)
+            runtime = LeaderRuntime(leader, await transport.attach("leader"))
+            runtime.start()
+            try:
+                alice = MemberClient(creds, "leader",
+                                     await transport.attach("alice"))
+                await alice.join(timeout=5)
+
+                evil = await transport.attach("evil")
+                # Claim to be alice; send garbage under every label.
+                for label in (Label.AUTH_INIT_REQ, Label.AUTH_ACK_KEY,
+                              Label.REQ_CLOSE, Label.ACK, Label.APP_DATA):
+                    await evil.send(
+                        Envelope(label, "alice", "leader", b"\x00" * 64)
+                    )
+                await asyncio.sleep(0.2)
+                assert leader.members == ["alice"]
+                await evil.close()
+                await alice.stop()
+            finally:
+                await runtime.stop()
+
+        run(scenario())

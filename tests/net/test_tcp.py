@@ -1,0 +1,108 @@
+"""Tests for the TCP transport."""
+
+import asyncio
+
+from repro.net.tcp import TcpTransport
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTcpTransport:
+    def test_member_to_leader(self):
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            member = await transport.attach("alice")
+            await member.send(
+                Envelope(Label.AUTH_INIT_REQ, "alice", "leader", b"hello")
+            )
+            envelope = await asyncio.wait_for(leader.recv(), 2)
+            await member.close()
+            await leader.close()
+            return envelope
+
+        envelope = run(scenario())
+        assert envelope.sender == "alice"
+        assert envelope.body == b"hello"
+
+    def test_leader_replies_via_learned_route(self):
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            member = await transport.attach("alice")
+            await member.send(
+                Envelope(Label.AUTH_INIT_REQ, "alice", "leader", b"hi")
+            )
+            await leader.recv()
+            await leader.send(
+                Envelope(Label.AUTH_KEY_DIST, "leader", "alice", b"reply")
+            )
+            envelope = await asyncio.wait_for(member.recv(), 2)
+            await member.close()
+            await leader.close()
+            return envelope
+
+        assert run(scenario()).body == b"reply"
+
+    def test_unroutable_frame_dropped(self):
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            # No member registered: send is a silent no-op.
+            await leader.send(
+                Envelope(Label.ADMIN_MSG, "leader", "ghost", b"x")
+            )
+            await leader.close()
+
+        run(scenario())
+
+    def test_multiple_members(self):
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            members = {}
+            for name in ("a", "b", "c"):
+                members[name] = await transport.attach(name)
+                await members[name].send(
+                    Envelope(Label.AUTH_INIT_REQ, name, "leader", b"")
+                )
+            senders = set()
+            for _ in range(3):
+                envelope = await asyncio.wait_for(leader.recv(), 2)
+                senders.add(envelope.sender)
+            # Reply to each and check routing separates streams.
+            for name in senders:
+                await leader.send(
+                    Envelope(Label.ACK, "leader", name, name.encode())
+                )
+            bodies = {}
+            for name, member in members.items():
+                bodies[name] = (await asyncio.wait_for(member.recv(), 2)).body
+            for member in members.values():
+                await member.close()
+            await leader.close()
+            return senders, bodies
+
+        senders, bodies = run(scenario())
+        assert senders == {"a", "b", "c"}
+        assert bodies == {"a": b"a", "b": b"b", "c": b"c"}
+
+    def test_large_frame(self):
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            member = await transport.attach("alice")
+            big = bytes(200_000)
+            await member.send(
+                Envelope(Label.APP_DATA, "alice", "leader", big)
+            )
+            envelope = await asyncio.wait_for(leader.recv(), 5)
+            await member.close()
+            await leader.close()
+            return len(envelope.body)
+
+        assert run(scenario()) == 200_000

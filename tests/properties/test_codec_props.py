@@ -1,0 +1,61 @@
+"""Property-based tests for the wire codec: total, injective, inverse."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CodecError
+from repro.wire.codec import decode_fields, encode_fields
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+field_lists = st.lists(st.binary(max_size=128), max_size=8)
+
+
+@given(field_lists)
+def test_decode_inverts_encode(fields):
+    assert decode_fields(encode_fields(fields)) == fields
+
+
+@given(field_lists, field_lists)
+def test_injective(a, b):
+    if a != b:
+        assert encode_fields(a) != encode_fields(b)
+
+
+@given(st.binary(max_size=256))
+def test_decode_is_total(data):
+    """Arbitrary bytes either decode or raise CodecError — never crash
+    with anything else, never hang."""
+    try:
+        decode_fields(data)
+    except CodecError:
+        pass
+
+
+@given(field_lists, st.binary(min_size=1, max_size=16))
+def test_trailing_garbage_always_rejected(fields, garbage):
+    with pytest.raises(CodecError):
+        decode_fields(encode_fields(fields) + garbage)
+
+
+envelope_strategy = st.builds(
+    Envelope,
+    label=st.sampled_from(list(Label)),
+    sender=st.text(max_size=32),
+    recipient=st.text(max_size=32),
+    body=st.binary(max_size=256),
+)
+
+
+@given(envelope_strategy)
+def test_envelope_roundtrip(envelope):
+    assert Envelope.from_bytes(envelope.to_bytes()) == envelope
+
+
+@given(st.binary(max_size=128))
+def test_envelope_parse_total(data):
+    try:
+        Envelope.from_bytes(data)
+    except CodecError:
+        pass

@@ -1,0 +1,167 @@
+"""Property-based tests of the Dolev-Yao algebra and the Millen-Rueß
+lemmas the paper's §5.2 proof cites.
+
+These are the executable counterparts of:
+
+* Parts/Analz monotonicity and idempotence,
+* ``Analz(S) ⊆ Parts(S)`` (used in §5.1),
+* closure of coideals under Analz and Synth — properties (3) and (4),
+* the Ideal-Parts lemma: ``Parts(E) ∩ S = ∅ ⇒ E ⊆ C(S)``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.fields import (
+    Agent,
+    Concat,
+    Crypt,
+    Data,
+    LongTerm,
+    NonceF,
+    SessionK,
+)
+from repro.formal.ideals import coideal_contains, in_ideal
+from repro.formal.knowledge import KnowledgeState, analz, can_synth, parts
+
+atoms = st.one_of(
+    st.sampled_from([Agent("A"), Agent("L"), Agent("C")]),
+    st.integers(0, 5).map(NonceF),
+    st.integers(0, 3).map(SessionK),
+    st.sampled_from([LongTerm("A"), LongTerm("C")]),
+    st.integers(0, 3).map(Data),
+)
+
+key_atoms = st.one_of(
+    st.integers(0, 3).map(SessionK),
+    st.sampled_from([LongTerm("A"), LongTerm("C")]),
+)
+
+
+def field_strategy(depth=3):
+    if depth == 0:
+        return atoms
+    sub = field_strategy(depth - 1)
+    return st.one_of(
+        atoms,
+        st.lists(sub, min_size=1, max_size=3).map(
+            lambda ps: Concat(tuple(ps))
+        ),
+        st.tuples(key_atoms, sub).map(lambda t: Crypt(t[0], t[1])),
+    )
+
+
+fields = field_strategy()
+field_sets = st.lists(fields, max_size=6).map(frozenset)
+secret_sets = st.lists(
+    st.one_of(st.integers(0, 3).map(SessionK),
+              st.sampled_from([LongTerm("A")])),
+    min_size=1, max_size=3,
+).map(frozenset)
+
+
+@given(field_sets)
+def test_parts_idempotent(s):
+    p = parts(s)
+    assert parts(p) == p
+
+
+@given(field_sets, field_sets)
+def test_parts_monotone(s1, s2):
+    assert parts(s1) <= parts(s1 | s2)
+
+
+@given(field_sets)
+def test_analz_idempotent(s):
+    a = analz(s)
+    assert analz(a) == a
+
+
+@given(field_sets, field_sets)
+def test_analz_monotone(s1, s2):
+    assert analz(s1) <= analz(s1 | s2)
+
+
+@given(field_sets)
+def test_analz_subset_parts_union_self(s):
+    # Analz never invents fields beyond subterms: Analz(S) ⊆ Parts(S)∪S.
+    assert analz(s) <= parts(s) | s
+
+
+@given(field_sets)
+def test_incremental_equals_batch(s):
+    state = KnowledgeState.empty()
+    for f in sorted(s, key=repr):
+        state = state.add(f)
+    assert state.accessible == analz(s)
+
+
+@given(field_sets, fields)
+def test_synth_contains_analz(s, f):
+    known = analz(s)
+    if f in known:
+        assert can_synth(f, known)
+
+
+@given(field_sets, secret_sets)
+@settings(max_examples=200)
+def test_coideal_closed_under_analz(s, secrets):
+    """Property (3) of §5.2: Analz(C(S)) = C(S).
+
+    Concretely: if every field of a set lies in the coideal, everything
+    Analz extracts from it also lies in the coideal.
+    """
+    in_coideal = frozenset(
+        f for f in s if coideal_contains(f, secrets)
+    )
+    for extracted in analz(in_coideal):
+        assert coideal_contains(extracted, secrets), (
+            extracted, secrets, in_coideal
+        )
+
+
+@given(field_sets, secret_sets, fields)
+@settings(max_examples=200)
+def test_coideal_closed_under_synth(s, secrets, candidate):
+    """Property (4) of §5.2: Synth(C(S)) = C(S).
+
+    If a field is synthesizable from coideal members (with no secret key
+    available), it lies in the coideal itself.
+    """
+    base = frozenset(
+        f for f in analz(s) if coideal_contains(f, secrets)
+    )
+    if can_synth(candidate, base):
+        assert coideal_contains(candidate, secrets), (candidate, secrets)
+
+
+@given(field_sets, secret_sets)
+def test_ideal_parts_lemma(s, secrets):
+    """Parts(E) ∩ S = ∅ ⇒ E ⊆ C(S)."""
+    if not (parts(s) & secrets):
+        assert all(coideal_contains(f, secrets) for f in s)
+
+
+@given(fields, secret_sets)
+def test_ideal_concat_rule(f, secrets):
+    # [X, Y] ∈ I(S) iff X ∈ I(S) or Y ∈ I(S).
+    pair = Concat((f, Agent("A")))
+    assert in_ideal(pair, secrets) == in_ideal(f, secrets)
+
+
+@given(fields, secret_sets)
+def test_ideal_crypt_rule(f, secrets):
+    # {X}_K ∈ I(S) iff X ∈ I(S) and K ∉ S.
+    for key in (SessionK(0), LongTerm("A")):
+        wrapped = Crypt(key, f)
+        expected = in_ideal(f, secrets) and key not in secrets
+        assert in_ideal(wrapped, secrets) == expected
+
+
+@given(field_sets, secret_sets)
+@settings(max_examples=200)
+def test_secrets_unreachable_from_coideal(s, secrets):
+    """The operational meaning of coideals: from any set of coideal
+    fields, Analz can never produce a secret."""
+    base = frozenset(f for f in s if coideal_contains(f, secrets))
+    assert not (analz(base) & secrets)

@@ -1,0 +1,153 @@
+"""Stateful property testing of the member/leader-session pair.
+
+A hypothesis :class:`RuleBasedStateMachine` owns one member and one
+leader session plus an adversarial in-flight queue.  Rules interleave
+honest actions (join, leave, send admin) with network mischief
+(reordered delivery, duplication, drops, replays from full history).
+After every rule the §3.1/§5.4 requirements are asserted as invariants:
+
+* the member's accepted admin list is a prefix of the leader's send list,
+* when both sides are Connected they hold the same session key,
+* the leader never accepts more sessions than the member requested,
+* neither endpoint ever raises on delivered traffic.
+
+Hypothesis explores thousands of interleavings and shrinks any failure
+to a minimal scenario — the concrete-stack analogue of the explorer.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import Credentials
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+
+
+class ProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.seed = 0
+
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed):
+        creds = Credentials.from_password("alice", "pw")
+        rng = DeterministicRandom(seed)
+        self.member = MemberProtocol(creds, "leader", rng.fork("m"))
+        self.session = LeaderSession("leader", "alice",
+                                     creds.long_term_key, rng.fork("l"))
+        #: frames posted but not yet delivered
+        self.in_flight: list = []
+        #: every frame ever posted (replay source)
+        self.history: list = []
+        self.admin_counter = 0
+        self.join_requests = 0
+
+    # -- honest actions ------------------------------------------------------
+
+    @precondition(lambda self: self.member.state is MemberState.NOT_CONNECTED)
+    @rule()
+    def member_joins(self):
+        self.join_requests += 1
+        self._post(self.member.start_join())
+
+    @precondition(lambda self: self.member.state is MemberState.CONNECTED)
+    @rule()
+    def member_leaves(self):
+        self._post(self.member.start_leave())
+
+    @precondition(lambda self: self.session.can_send_admin)
+    @rule()
+    def leader_sends_admin(self):
+        self.admin_counter += 1
+        self._post(self.session.send_admin(
+            TextPayload(f"n{self.admin_counter}")
+        ))
+
+    @precondition(lambda self: self.session.retransmit_last() is not None)
+    @rule()
+    def leader_retransmits(self):
+        self._post(self.session.retransmit_last())
+
+    @precondition(lambda self: self.member.retransmit_last() is not None)
+    @rule()
+    def member_retransmits(self):
+        self._post(self.member.retransmit_last())
+
+    # -- network (the adversary's scheduler) ----------------------------------
+
+    @precondition(lambda self: self.in_flight)
+    @rule(index=st.integers(0, 10_000))
+    def deliver(self, index):
+        envelope = self.in_flight.pop(index % len(self.in_flight))
+        self._dispatch(envelope)
+
+    @precondition(lambda self: self.in_flight)
+    @rule(index=st.integers(0, 10_000))
+    def drop(self, index):
+        self.in_flight.pop(index % len(self.in_flight))
+
+    @precondition(lambda self: self.in_flight)
+    @rule(index=st.integers(0, 10_000))
+    def duplicate(self, index):
+        self.in_flight.append(self.in_flight[index % len(self.in_flight)])
+
+    @precondition(lambda self: self.history)
+    @rule(index=st.integers(0, 10_000))
+    def replay_from_history(self, index):
+        self._dispatch(self.history[index % len(self.history)])
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _post(self, envelope):
+        if envelope is None:
+            return
+        self.in_flight.append(envelope)
+        self.history.append(envelope)
+
+    def _dispatch(self, envelope):
+        target = self.member if envelope.recipient == "alice" else self.session
+        out, _events = target.handle(envelope)
+        for reply in out:
+            self._post(reply)
+
+    # -- the requirements, checked after every rule --------------------------------
+
+    @invariant()
+    def prefix_property(self):
+        rcv = self.member.admin_log
+        snd = self.session.admin_log
+        assert rcv == snd[: len(rcv)], (rcv, snd)
+
+    @invariant()
+    def no_duplicate_admin_payloads(self):
+        texts = [p.text for p in self.member.admin_log]
+        assert len(set(texts)) == len(texts)
+
+    @invariant()
+    def agreement_on_session_key(self):
+        if (
+            self.member.state is MemberState.CONNECTED
+            and self.session.state is LeaderState.CONNECTED
+            and self.member._session_key is not None
+            and self.session._session_key is not None
+        ):
+            assert self.member._session_key == self.session._session_key
+
+    @invariant()
+    def authentication_counting(self):
+        assert self.session.stats.sessions_opened <= self.join_requests
+
+
+ProtocolMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestProtocolMachine = ProtocolMachine.TestCase

@@ -1,0 +1,93 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(3.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_on_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(1.0, lambda: order.append("b"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["a", "b"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        item = queue.schedule(1.0, lambda: None)
+        item.cancelled = True
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_len(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        item = queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        item.cancelled = True
+        assert len(queue) == 1
+
+
+class TestSimulator:
+    def test_runs_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(2.0, lambda: order.append("late"))
+        sim.at(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_after_relative(self):
+        sim = Simulator()
+        stamps = []
+        sim.at(1.0, lambda: sim.after(0.5, lambda: stamps.append(sim.now)))
+        sim.run()
+        assert stamps == [1.5]
+
+    def test_no_scheduling_in_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(4.0, lambda: None)
+
+    def test_until_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.after(1.0, reschedule)
+
+        sim.at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,78 @@
+"""Tests for metric collection."""
+
+import math
+
+from repro.sim.metrics import LatencyRecorder, MetricSet
+
+
+class TestLatencyRecorder:
+    def test_empty_stats_are_nan(self):
+        rec = LatencyRecorder()
+        assert math.isnan(rec.mean)
+        assert math.isnan(rec.p50)
+        assert math.isnan(rec.maximum)
+
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(5.0)
+        assert rec.mean == 5.0
+        assert rec.p50 == 5.0
+        assert rec.percentile(0) == 5.0
+        assert rec.percentile(100) == 5.0
+
+    def test_mean(self):
+        rec = LatencyRecorder()
+        for v in (1.0, 2.0, 3.0):
+            rec.record(v)
+        assert rec.mean == 2.0
+
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for v in range(1, 101):
+            rec.record(float(v))
+        assert rec.p50 == 50.5
+        assert abs(rec.percentile(99) - 99.01) < 0.011
+        assert rec.percentile(0) == 1.0
+        assert rec.percentile(100) == 100.0
+        assert rec.maximum == 100.0
+
+    def test_interpolation(self):
+        rec = LatencyRecorder()
+        rec.record(0.0)
+        rec.record(10.0)
+        assert rec.p50 == 5.0
+
+    def test_order_independent(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        for v in (5.0, 1.0, 3.0):
+            a.record(v)
+        for v in (1.0, 3.0, 5.0):
+            b.record(v)
+        assert a.p50 == b.p50
+
+    def test_len(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        assert len(rec) == 1
+
+
+class TestMetricSet:
+    def test_counters(self):
+        metrics = MetricSet()
+        metrics.incr("joins")
+        metrics.incr("joins", 2)
+        assert metrics.counters["joins"] == 3
+
+    def test_latency_lazy_creation(self):
+        metrics = MetricSet()
+        metrics.latency("auth").record(0.1)
+        assert metrics.latency("auth") is metrics.latencies["auth"]
+
+    def test_snapshot(self):
+        metrics = MetricSet()
+        metrics.incr("x")
+        metrics.latency("y").record(2.0)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"x": 1}
+        assert snap["latencies"]["y"]["count"] == 1
+        assert snap["latencies"]["y"]["mean"] == 2.0

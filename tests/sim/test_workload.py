@@ -1,0 +1,86 @@
+"""Tests for workload generators."""
+
+from repro.sim.workload import (
+    ChurnWorkload,
+    MessageWorkload,
+    WorkloadKind,
+)
+
+
+class TestChurnWorkload:
+    def test_deterministic(self):
+        w1 = ChurnWorkload(["a", "b"], seed=7).events(50.0)
+        w2 = ChurnWorkload(["a", "b"], seed=7).events(50.0)
+        assert w1 == w2
+
+    def test_seed_changes_stream(self):
+        w1 = ChurnWorkload(["a", "b"], seed=1).events(50.0)
+        w2 = ChurnWorkload(["a", "b"], seed=2).events(50.0)
+        assert w1 != w2
+
+    def test_events_in_window_and_sorted(self):
+        events = ChurnWorkload(["a", "b", "c"], join_rate=2.0,
+                               seed=3).events(30.0)
+        assert events
+        assert all(0 <= e.time <= 30.0 for e in events)
+        assert [e.time for e in events] == sorted(e.time for e in events)
+
+    def test_no_double_join(self):
+        events = ChurnWorkload(["a"], join_rate=5.0, mean_session=10.0,
+                               seed=4).events(60.0)
+        joined = False
+        for event in events:
+            if event.kind is WorkloadKind.JOIN:
+                assert not joined, "double join for a single user"
+                joined = True
+            else:
+                assert joined
+                joined = False
+
+    def test_leave_follows_its_join(self):
+        events = ChurnWorkload(["a", "b"], seed=5).events(80.0)
+        active = set()
+        for event in events:
+            if event.kind is WorkloadKind.JOIN:
+                assert event.user_id not in active
+                active.add(event.user_id)
+            elif event.kind is WorkloadKind.LEAVE:
+                assert event.user_id in active
+                active.discard(event.user_id)
+
+    def test_higher_rate_more_events(self):
+        low = ChurnWorkload(["a", "b", "c", "d"], join_rate=0.1,
+                            seed=6).events(100.0)
+        high = ChurnWorkload(["a", "b", "c", "d"], join_rate=2.0,
+                             seed=6).events(100.0)
+        assert len(high) > len(low)
+
+
+class TestMessageWorkload:
+    def test_deterministic(self):
+        w1 = list(MessageWorkload(["a"], seed=1).events(20.0))
+        w2 = list(MessageWorkload(["a"], seed=1).events(20.0))
+        assert w1 == w2
+
+    def test_payload_size(self):
+        events = list(MessageWorkload(["a"], payload_size=48,
+                                      seed=2).events(10.0))
+        assert events
+        assert all(len(e.payload) == 48 for e in events)
+
+    def test_senders_drawn_from_pool(self):
+        users = ["a", "b", "c"]
+        events = list(MessageWorkload(users, rate=20.0, seed=3).events(10.0))
+        senders = {e.user_id for e in events}
+        assert senders <= set(users)
+        assert len(senders) > 1  # mixing happens
+
+    def test_kind_is_message(self):
+        events = list(MessageWorkload(["a"], seed=4).events(5.0))
+        assert all(e.kind is WorkloadKind.MESSAGE for e in events)
+
+    def test_rate_zero_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(MessageWorkload(["a"], rate=0).events(1.0))

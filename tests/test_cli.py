@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_verify_ok(self, capsys):
+        code = main(["verify", "--sessions", "1", "--admin", "1",
+                     "--spy", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL PROPERTIES HOLD" in out
+
+    def test_verify_with_walks(self, capsys):
+        code = main(["verify", "--sessions", "1", "--admin", "1",
+                     "--spy", "0", "--walks", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "random walks" in out
+
+    def test_verify_compromised_member(self, capsys):
+        code = main(["verify", "--sessions", "1", "--admin", "1",
+                     "--spy", "1", "--compromised-member"])
+        assert code == 0
+        assert "compromised_member=True" in capsys.readouterr().out
+
+
+class TestAttackMatrixCommand:
+    def test_matrix_matches_paper(self, capsys):
+        code = main(["attack-matrix"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "forged-denial" in out
+        assert "all outcomes match" in out
+
+
+class TestRenderCommand:
+    def test_render_all_ascii(self, capsys):
+        code = main(["render"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 2" in out and "Figure 3" in out and "Figure 4" in out
+
+    def test_render_single_dot(self, capsys):
+        code = main(["render", "4", "--format", "dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_render_to_file(self, tmp_path, capsys):
+        target = tmp_path / "fig2.dot"
+        code = main(["render", "2", "--format", "dot",
+                     "--out", str(target)])
+        assert code == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_render_unknown_figure(self, capsys):
+        code = main(["render", "9"])
+        assert code == 2
+
+
+class TestDemoCommand:
+    def test_demo_prints_transcript(self, capsys):
+        code = main(["demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AUTH_INIT_REQ" in out
+        assert "final members" in out
+
+    def test_demo_deterministic(self, capsys):
+        main(["demo", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["demo", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestChurnCommand:
+    def test_churn_runs(self, capsys):
+        code = main(["churn", "--users", "4", "--duration", "20",
+                     "--policy", "manual"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistent=True" in out
+
+
+class TestReportCommand:
+    def test_report_all_reproduced(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["report", "--out", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "ALL ARTIFACTS REPRODUCED" in text
+        assert "attack matrix" in text
+        assert "counterexample FOUND" in text
+        assert "join -> group key" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

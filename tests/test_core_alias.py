@@ -1,0 +1,28 @@
+"""The conventional `repro.core` entry point mirrors the contribution."""
+
+import repro.core
+import repro.enclaves.itgm
+
+
+def test_core_reexports_everything():
+    for name in repro.enclaves.itgm.__all__:
+        assert getattr(repro.core, name) is getattr(
+            repro.enclaves.itgm, name
+        ), name
+
+
+def test_core_quickstart_shape():
+    from repro.core import GroupLeader, MemberProtocol
+    from repro.enclaves.common import UserDirectory
+    from repro.enclaves.harness import SyncNetwork, wire
+
+    net = SyncNetwork()
+    directory = UserDirectory()
+    creds = directory.register_password("alice", "pw")
+    leader = GroupLeader("leader", directory)
+    wire(net, "leader", leader)
+    member = MemberProtocol(creds, "leader")
+    wire(net, "alice", member)
+    net.post(member.start_join())
+    net.run()
+    assert leader.members == ["alice"]

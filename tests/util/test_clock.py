@@ -1,0 +1,46 @@
+"""Tests for the clock abstraction."""
+
+import pytest
+
+from repro.util.clock import RealClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_advance_zero_allowed(self):
+        clock = VirtualClock(1.0)
+        clock.advance(0)
+        assert clock.now() == 1.0
+
+    def test_no_backwards_advance(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_set(self):
+        clock = VirtualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_no_backwards_set(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+
+class TestRealClock:
+    def test_monotone(self):
+        clock = RealClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
