@@ -1,0 +1,697 @@
+"""Seeded chaos soak scenarios + the recovery matrix.
+
+A soak drives N supervised members and a set of leaders through a
+:class:`~repro.net.faults.FaultPlan` (loss, bursty loss, delay/reorder,
+partitions, leader crashes) on the virtual-time loop, while a monitor
+continuously asserts the paper's safety invariants on the live state:
+
+* **prefix** (§5.4) — every member's accepted admin list is a prefix of
+  what its leader sent it, byte for byte (reusing
+  :func:`repro.formal.properties.check_prefix` on a trace shim);
+* **no duplication / no stale key** — the group-key epochs a member
+  accepts within one session are strictly increasing (reusing
+  :func:`repro.formal.properties.check_no_duplicates`), so a replayed
+  or reordered key distribution can never re-install an old key.
+
+Once the plan's faults heal, the run must *converge*: every member
+connected to the current manager, holding its current group key, all
+admin channels drained.  The same plans run against the legacy (§2.2)
+stack, where loss-duplicated or reordered ``new_key`` messages are
+accepted (no freshness — §2.3) and a crashed leader strands the group;
+the recovery matrix makes that contrast a runnable artifact, like the
+attack matrix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.chaos.loop import LoopClock, run_virtual
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import RekeyPolicy, UserDirectory
+from repro.enclaves.itgm.admin import NewGroupKeyPayload
+from repro.enclaves.itgm.leader import LeaderConfig
+from repro.enclaves.itgm.supervisor import (
+    LeaderOrchestrator,
+    ResilientMemberClient,
+    SupervisorConfig,
+)
+from repro.enclaves.legacy.leader import LegacyGroupLeader
+from repro.enclaves.legacy.member import LegacyMemberProtocol, LegacyMemberState
+from repro.exceptions import ConnectionClosed, StateError
+from repro.formal.properties import check_no_duplicates, check_prefix
+from repro.net.adversary import Adversary
+from repro.net.faults import FaultPlan, LeaderEventKind
+from repro.net.memnet import MemoryNetwork
+from repro.sim.metrics import MetricSet
+
+
+@dataclass
+class SoakConfig:
+    """One seeded chaos scenario.  ``None`` windows/events are skipped."""
+
+    stack: str = "itgm"            # "itgm" | "legacy"
+    seed: int = 7
+    n_members: int = 5
+    n_managers: int = 2
+    duration: float = 60.0
+    #: i.i.d. loss window (start, end) and rates.
+    loss_window: tuple[float, float] | None = (4.0, 20.0)
+    drop_rate: float = 0.3
+    duplicate_rate: float = 0.05
+    #: Delay/reorder window.
+    delay_window: tuple[float, float] | None = (4.0, 20.0)
+    delay_rate: float = 0.25
+    max_hold: float = 0.5
+    #: Gilbert-Elliott bursty sub-window.
+    bursty_window: tuple[float, float] | None = (12.0, 18.0)
+    #: Partition window (managers + half the members vs. the rest).
+    partition_window: tuple[float, float] | None = (22.0, 30.0)
+    #: Leader crash with warm restore.
+    crash_warm_at: float | None = 10.0
+    restore_at: float | None = 11.0
+    #: Leader crash with failover to the next standby.
+    crash_failover_at: float | None = 34.0
+    #: Protocol timers.
+    rekey_interval: float = 5.0
+    app_interval: float = 1.0
+    heartbeat_interval: float = 0.5
+    tick_interval: float = 0.25
+    monitor_interval: float = 0.5
+    converge_timeout: float = 20.0
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run."""
+
+    stack: str
+    seed: int
+    duration: float
+    converged: bool
+    converge_time: float | None
+    violations: list[str]
+    final_leader: str | None
+    final_epoch: int | None
+    n_members: int
+    n_converged: int
+    metrics: dict
+    fault_stats: dict[str, dict]
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+    def format_table(self) -> str:
+        """The printed recovery-metrics table."""
+        counters = self.metrics.get("counters", {})
+        latencies = self.metrics.get("latencies", {})
+        lines = [
+            f"chaos soak — stack={self.stack} seed={self.seed} "
+            f"duration={self.duration:.0f}s",
+            f"  converged          : "
+            + ("NO" if not self.converged
+               else "yes" if self.converge_time is None
+               else f"yes (t={self.converge_time:.1f}s)"),
+            f"  members reconverged: {self.n_converged}/{self.n_members}"
+            + (f" on {self.final_leader}" if self.final_leader else "")
+            + (f" epoch {self.final_epoch}"
+               if self.final_epoch is not None else ""),
+            f"  safety violations  : {len(self.violations)}",
+        ]
+        for violation in self.violations[:8]:
+            lines.append(f"    ! {violation}")
+        for name in ("suspicions", "rejoins", "attempts", "crashes",
+                     "warm_restores", "failovers", "rekeys",
+                     "frames_routed", "app_rounds"):
+            if name in counters:
+                lines.append(f"  {name:<19}: {counters[name]}")
+        rec = latencies.get("rejoin")
+        if rec and rec["count"]:
+            lines.append(
+                "  rejoin latency     : "
+                f"p50={rec['p50']:.2f}s p99={rec['p99']:.2f}s "
+                f"max={rec['max']:.2f}s (n={rec['count']})"
+            )
+        for name, stats in sorted(self.fault_stats.items()):
+            detail = " ".join(f"{k}={v}" for k, v in stats.items())
+            lines.append(f"  fault {name:<13}: {detail}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+# -- plan construction -------------------------------------------------------
+
+
+def build_default_plan(
+    config: SoakConfig,
+    member_addresses: list[str],
+    manager_addresses: list[str],
+) -> FaultPlan:
+    """Translate a :class:`SoakConfig` into a :class:`FaultPlan`."""
+    plan = FaultPlan(seed=config.seed)
+    if config.loss_window is not None:
+        plan.loss(*config.loss_window, drop_rate=config.drop_rate,
+                  duplicate_rate=config.duplicate_rate)
+    if config.delay_window is not None:
+        plan.delay(*config.delay_window, min_hold=0.05,
+                   max_hold=config.max_hold, delay_rate=config.delay_rate)
+    if config.bursty_window is not None:
+        plan.bursty(*config.bursty_window)
+    if config.partition_window is not None:
+        near = member_addresses[: len(member_addresses) // 2]
+        far = member_addresses[len(member_addresses) // 2:]
+        plan.partition(
+            *config.partition_window,
+            [set(manager_addresses) | set(near), set(far)],
+        )
+    if config.crash_warm_at is not None and config.restore_at is not None:
+        plan.crash_warm(config.crash_warm_at, config.restore_at)
+    if config.crash_failover_at is not None:
+        plan.crash_failover(config.crash_failover_at)
+    return plan
+
+
+def _window_stats(plan: FaultPlan) -> dict[str, dict]:
+    stats: dict[str, dict] = {}
+    for i, window in enumerate(plan.windows):
+        policy = window.policy
+        entry = {}
+        for attr in ("dropped", "duplicated", "delayed", "severed", "bursts"):
+            value = getattr(policy, attr, None)
+            if value is not None:
+                entry[attr] = value
+        stats[f"{i}:{window.name}"] = entry
+    return stats
+
+
+# -- safety shims over the formal predicates ---------------------------------
+
+
+class _TraceShim:
+    """Minimal ``GlobalState`` stand-in for the §5.4 list predicates."""
+
+    def __init__(self, rcv, snd=()) -> None:
+        self.rcv = tuple(rcv)
+        self.snd = tuple(snd)
+
+
+def _member_safety(
+    uid: str, leader_id: str, member_log, leader_log
+) -> list[str]:
+    """Prefix + no-duplicate-epoch + no-stale-key for one live session."""
+    violations = []
+    shim = _TraceShim(
+        rcv=[p.encode() for p in member_log],
+        snd=[p.encode() for p in leader_log],
+    )
+    problem = check_prefix(None, shim)
+    if problem is not None:
+        violations.append(f"{uid}<-{leader_id}: prefix violated")
+    epochs = [
+        p.epoch for p in member_log if isinstance(p, NewGroupKeyPayload)
+    ]
+    if check_no_duplicates(None, _TraceShim(rcv=epochs)) is not None:
+        violations.append(
+            f"{uid}<-{leader_id}: duplicate group-key epoch accepted"
+        )
+    if any(b <= a for a, b in zip(epochs, epochs[1:])):
+        violations.append(
+            f"{uid}<-{leader_id}: stale group key accepted "
+            f"(epochs {epochs})"
+        )
+    return violations
+
+
+# -- the improved (itgm) stack soak ------------------------------------------
+
+
+async def _soak_itgm(config: SoakConfig) -> SoakReport:
+    loop = asyncio.get_running_loop()
+    rng = DeterministicRandom(config.seed)
+    metrics = MetricSet()
+    violations: list[str] = []
+    notes: list[str] = []
+
+    member_ids = [f"user-{i}" for i in range(config.n_members)]
+    manager_ids = [f"mgr-{i}" for i in range(config.n_managers)]
+    directory = UserDirectory()
+    creds = {
+        uid: directory.register_password(uid, f"pw-{uid}")
+        for uid in member_ids
+    }
+
+    net = MemoryNetwork()
+    adversary = Adversary()
+    net.attach_adversary(adversary)
+    plan = build_default_plan(config, member_ids, manager_ids)
+    adversary.set_policy(plan.as_policy(loop.time))
+
+    orchestrator = LeaderOrchestrator(
+        net, directory, manager_ids,
+        config=LeaderConfig(
+            rekey_policy=(RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE
+                          | RekeyPolicy.PERIODIC),
+            rekey_interval=config.rekey_interval,
+        ),
+        rng=rng.fork("mgrs"),
+        clock=LoopClock(loop),
+        tick_interval=config.tick_interval,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    await orchestrator.start()
+
+    members = {
+        uid: ResilientMemberClient(
+            {m: creds[uid] for m in manager_ids},
+            manager_ids, net,
+            config=config.supervisor,
+            rng=rng.fork(uid),
+        )
+        for uid in member_ids
+    }
+    for supervisor in members.values():
+        await supervisor.start()
+
+    def sample_safety() -> None:
+        for uid, supervisor in members.items():
+            client = supervisor.client
+            if client is None or supervisor.active is None:
+                continue
+            leader = orchestrator.leaders[supervisor.active]
+            violations.extend(
+                _member_safety(
+                    uid, supervisor.active,
+                    list(client.protocol.admin_log),
+                    leader.admin_send_log(uid),
+                )
+            )
+
+    async def monitor() -> None:
+        while True:
+            await asyncio.sleep(config.monitor_interval)
+            sample_safety()
+
+    async def workload() -> None:
+        round_no = 0
+        while True:
+            await asyncio.sleep(config.app_interval)
+            round_no += 1
+            for uid, supervisor in members.items():
+                if supervisor.connected:
+                    try:
+                        await supervisor.send_app(
+                            f"{uid}-r{round_no}".encode()
+                        )
+                    except StateError:
+                        pass
+            metrics.incr("app_rounds")
+
+    async def leader_events() -> None:
+        for event in sorted(plan.leader_events, key=lambda e: e.at):
+            delay = event.at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if event.kind is LeaderEventKind.CRASH_WARM:
+                await orchestrator.crash(flush=True)
+            elif event.kind is LeaderEventKind.RESTORE:
+                await orchestrator.restore_warm()
+            elif event.kind is LeaderEventKind.CRASH_FAILOVER:
+                await orchestrator.failover()
+
+    tasks = [
+        loop.create_task(monitor()),
+        loop.create_task(workload()),
+        loop.create_task(leader_events()),
+    ]
+
+    await asyncio.sleep(config.duration - loop.time())
+    tasks[1].cancel()  # stop the workload; let recovery finish cleanly
+
+    def converged_now() -> tuple[bool, int]:
+        leader = orchestrator.current_leader
+        fingerprint = leader.group_key_fingerprint
+        target = orchestrator.current_id
+        count = 0
+        for uid, supervisor in members.items():
+            if (
+                supervisor.connected
+                and supervisor.active == target
+                and supervisor.group_key_fingerprint == fingerprint
+                and leader.outbox_depth(uid) == 0
+            ):
+                count += 1
+        return count == len(members), count
+
+    converge_time: float | None = None
+    deadline = loop.time() + config.converge_timeout
+    while loop.time() < deadline:
+        done, _count = converged_now()
+        if done:
+            converge_time = loop.time()
+            break
+        await asyncio.sleep(0.25)
+    converged, n_converged = converged_now()
+    sample_safety()
+
+    for task in tasks:
+        task.cancel()
+    for task in tasks:
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+    for supervisor in members.values():
+        supervisor._drain_active()
+        if supervisor.gave_up:
+            notes.append(f"{supervisor.user_id}: recovery exhausted")
+        await supervisor.stop()
+    await orchestrator.stop()
+
+    metrics.incr("frames_routed", net.frames_routed)
+    metrics.incr("crashes", orchestrator.crashes)
+    metrics.incr("warm_restores", orchestrator.warm_restores)
+    metrics.incr("failovers", orchestrator.failovers)
+    rejoin = metrics.latency("rejoin")
+    for supervisor in members.values():
+        metrics.incr("suspicions", supervisor.suspicions)
+        metrics.incr("rejoins", supervisor.rejoins)
+        metrics.incr("attempts", supervisor.attempts)
+        # The first "rejoin" is the initial join; recovery latencies
+        # are the rest.
+        for latency in supervisor.rejoin_latencies[1:]:
+            rejoin.record(latency)
+    metrics.incr(
+        "rekeys",
+        sum(leader.stats.rekeys
+            for leader in orchestrator.leaders.values()),
+    )
+
+    deduped = sorted(set(violations))
+    return SoakReport(
+        stack="itgm",
+        seed=config.seed,
+        duration=config.duration,
+        converged=converged,
+        converge_time=converge_time,
+        violations=deduped,
+        final_leader=orchestrator.current_id,
+        final_epoch=orchestrator.current_leader.group_epoch,
+        n_members=len(members),
+        n_converged=n_converged,
+        metrics=metrics.snapshot(),
+        fault_stats=_window_stats(plan),
+        notes=notes,
+    )
+
+
+# -- the legacy (§2.2) stack soak --------------------------------------------
+
+
+class _SansIoDriver:
+    """Pump one sans-IO core over one endpoint (legacy stack driver)."""
+
+    def __init__(self, core, endpoint) -> None:
+        self.core = core
+        self.endpoint = endpoint
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._loop())
+
+    async def _loop(self) -> None:
+        try:
+            while True:
+                envelope = await self.endpoint.recv()
+                outgoing, _events = self.core.handle(envelope)
+                for out in outgoing:
+                    await self.endpoint.send(out)
+        except (ConnectionClosed, asyncio.CancelledError):
+            pass
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await self.endpoint.close()
+
+
+async def _soak_legacy(config: SoakConfig) -> SoakReport:
+    loop = asyncio.get_running_loop()
+    rng = DeterministicRandom(config.seed)
+    metrics = MetricSet()
+    violations: list[str] = []
+    notes: list[str] = []
+
+    member_ids = [f"user-{i}" for i in range(config.n_members)]
+    leader_id = "mgr-0"
+    directory = UserDirectory()
+    creds = {
+        uid: directory.register_password(uid, f"pw-{uid}")
+        for uid in member_ids
+    }
+
+    net = MemoryNetwork()
+    adversary = Adversary()
+    net.attach_adversary(adversary)
+    plan = build_default_plan(config, member_ids, [leader_id])
+    adversary.set_policy(plan.as_policy(loop.time))
+
+    leader = LegacyGroupLeader(
+        leader_id, directory,
+        rekey_policy=RekeyPolicy.MANUAL, rng=rng.fork("leader"),
+    )
+    leader_endpoint = await net.attach(leader_id)
+    leader_driver = _SansIoDriver(leader, leader_endpoint)
+    leader_driver.start()
+    alive = {"leader": True}
+    #: Every group key the leader ever issued, in issuance order.
+    issued: list[str] = []
+
+    protocols: dict[str, LegacyMemberProtocol] = {}
+    drivers: dict[str, _SansIoDriver] = {}
+    for uid in member_ids:
+        protocol = LegacyMemberProtocol(creds[uid], leader_id, rng.fork(uid))
+        endpoint = await net.attach(uid)
+        driver = _SansIoDriver(protocol, endpoint)
+        driver.start()
+        protocols[uid] = protocol
+        drivers[uid] = driver
+        # Joins happen in the clean window before any fault starts;
+        # legacy has no retransmission, so a lossy join would just hang.
+        await endpoint.send(protocol.start_join())
+        await asyncio.sleep(0.05)
+    if leader.group_key_fingerprint is not None:
+        issued.append(leader.group_key_fingerprint)
+
+    async def rekey_task() -> None:
+        while True:
+            await asyncio.sleep(config.rekey_interval)
+            if alive["leader"] and leader.members:
+                for out in leader.rekey_now():
+                    await leader_endpoint.send(out)
+                assert leader.group_key_fingerprint is not None
+                issued.append(leader.group_key_fingerprint)
+                metrics.incr("rekeys")
+
+    async def workload() -> None:
+        round_no = 0
+        while True:
+            await asyncio.sleep(config.app_interval)
+            round_no += 1
+            for uid, protocol in protocols.items():
+                if protocol.state is LegacyMemberState.CONNECTED:
+                    try:
+                        await drivers[uid].endpoint.send(
+                            protocol.seal_app(f"{uid}-r{round_no}".encode())
+                        )
+                    except StateError:
+                        pass
+            metrics.incr("app_rounds")
+
+    async def leader_events() -> None:
+        for event in sorted(plan.leader_events, key=lambda e: e.at):
+            delay = event.at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if event.kind in (LeaderEventKind.CRASH_WARM,
+                              LeaderEventKind.CRASH_FAILOVER):
+                if alive["leader"]:
+                    alive["leader"] = False
+                    await leader_driver.stop()
+                    metrics.incr("crashes")
+                    notes.append(
+                        f"leader crashed at t={event.at:.0f}s — the "
+                        "legacy stack has no restore or failover path; "
+                        "members are stranded"
+                    )
+            # RESTORE: nothing to do — legacy keeps no snapshot.
+
+    tasks = [
+        loop.create_task(rekey_task()),
+        loop.create_task(workload()),
+        loop.create_task(leader_events()),
+    ]
+    await asyncio.sleep(config.duration - loop.time())
+    for task in tasks:
+        task.cancel()
+    for task in tasks:
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    # Safety: a member may never install a key twice (duplication) nor
+    # install an older key after a newer one (stale reversion).  The
+    # legacy new_key has no freshness, so duplicated/delayed frames do
+    # exactly that — §2.3's replay flaw, triggered by benign faults.
+    for uid, protocol in protocols.items():
+        history = protocol.group_key_history
+        seen: set[str] = set()
+        for fingerprint in history:
+            if fingerprint in seen:
+                violations.append(
+                    f"{uid}: group key {fingerprint[:8]} installed twice "
+                    "(replayed new_key accepted)"
+                )
+            seen.add(fingerprint)
+        indices = [issued.index(f) for f in history if f in issued]
+        if any(b < a for a, b in zip(indices, indices[1:])):
+            violations.append(
+                f"{uid}: stale group key accepted (reordered new_key "
+                f"re-installed an older key; install order {indices})"
+            )
+
+    current = leader.group_key_fingerprint
+    n_converged = sum(
+        1 for protocol in protocols.values()
+        if alive["leader"]
+        and protocol.state is LegacyMemberState.CONNECTED
+        and protocol.group_key_fingerprint == current
+    )
+    converged = alive["leader"] and n_converged == len(protocols)
+    if not alive["leader"]:
+        n_converged = 0
+
+    await leader_driver.stop()
+    for driver in drivers.values():
+        await driver.stop()
+    metrics.incr("frames_routed", net.frames_routed)
+
+    return SoakReport(
+        stack="legacy",
+        seed=config.seed,
+        duration=config.duration,
+        converged=converged,
+        converge_time=None,
+        violations=sorted(set(violations)),
+        final_leader=leader_id if alive["leader"] else None,
+        final_epoch=None,
+        n_members=len(protocols),
+        n_converged=n_converged,
+        metrics=metrics.snapshot(),
+        fault_stats=_window_stats(plan),
+        notes=notes,
+    )
+
+
+def run_soak(config: SoakConfig | None = None) -> SoakReport:
+    """Run one soak scenario deterministically on the virtual clock."""
+    config = config if config is not None else SoakConfig()
+    if config.stack == "itgm":
+        return run_virtual(_soak_itgm(config))
+    if config.stack == "legacy":
+        return run_virtual(_soak_legacy(config))
+    raise ValueError(f"unknown stack {config.stack!r}")
+
+
+# -- the recovery matrix -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryRow:
+    """One (scenario, stack) cell of the recovery matrix."""
+
+    scenario: str
+    stack: str
+    converged: bool
+    violations: int
+    detail: str
+
+
+def _scenario_config(scenario: str, stack: str, seed: int) -> SoakConfig:
+    """A config exercising exactly one fault family (or all of them)."""
+    base = SoakConfig(
+        stack=stack, seed=seed, duration=30.0,
+        loss_window=None, delay_window=None, bursty_window=None,
+        partition_window=None, crash_warm_at=None, restore_at=None,
+        crash_failover_at=None, rekey_interval=3.0, converge_timeout=15.0,
+    )
+    if scenario == "loss":
+        base.loss_window = (3.0, 18.0)
+        base.delay_window = (3.0, 18.0)
+    elif scenario == "partition":
+        base.partition_window = (5.0, 13.0)
+    elif scenario == "crash-warm":
+        base.crash_warm_at, base.restore_at = 8.0, 9.0
+    elif scenario == "crash-failover":
+        base.crash_failover_at = 8.0
+    elif scenario == "full-soak":
+        return SoakConfig(stack=stack, seed=seed)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    return base
+
+
+SCENARIOS = ("loss", "partition", "crash-warm", "crash-failover",
+             "full-soak")
+
+
+def run_recovery_matrix(seed: int = 7) -> list[RecoveryRow]:
+    """crash × partition × loss × legacy-vs-improved, as data."""
+    rows = []
+    for scenario in SCENARIOS:
+        for stack in ("legacy", "itgm"):
+            report = run_soak(_scenario_config(scenario, stack, seed))
+            if report.converged and not report.violations:
+                detail = "recovered; all members on current key"
+            elif report.violations:
+                detail = report.violations[0]
+            elif report.notes:
+                detail = report.notes[0]
+            else:
+                detail = (
+                    f"{report.n_converged}/{report.n_members} members "
+                    "reconverged"
+                )
+            rows.append(RecoveryRow(
+                scenario=scenario,
+                stack=stack,
+                converged=report.converged,
+                violations=len(report.violations),
+                detail=detail,
+            ))
+    return rows
+
+
+def format_recovery_matrix(rows: list[RecoveryRow]) -> str:
+    """Align the matrix for terminal output, attack-matrix style."""
+    header = f"{'scenario':<16} {'stack':<7} {'converged':<10} " \
+             f"{'violations':<11} outcome"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<16} {row.stack:<7} "
+            f"{'yes' if row.converged else 'NO':<10} "
+            f"{row.violations:<11} {row.detail}"
+        )
+    return "\n".join(lines)

@@ -16,6 +16,10 @@ Commands
     Print (or write) Figures 2, 3, and 4 as Graphviz DOT or ASCII.
 ``churn``
     Run a churn simulation and print the report.
+``chaos``
+    Run a seeded chaos soak (or the full recovery matrix) on the
+    virtual clock and print the recovery-metrics table; exits nonzero
+    on a safety violation or failed convergence of the improved stack.
 """
 
 from __future__ import annotations
@@ -157,6 +161,37 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0 if report.views_consistent else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        SoakConfig,
+        format_recovery_matrix,
+        run_recovery_matrix,
+        run_soak,
+    )
+
+    if args.matrix:
+        rows = run_recovery_matrix(seed=args.seed)
+        print(format_recovery_matrix(rows))
+        bad = [
+            row for row in rows
+            if row.stack == "itgm" and (not row.converged or row.violations)
+        ]
+        if bad:
+            print(f"\n{len(bad)} improved-stack scenario(s) failed!")
+            return 1
+        print("\nimproved stack recovered everywhere with zero violations")
+        return 0
+
+    report = run_soak(SoakConfig(
+        stack=args.stack, seed=args.seed, duration=args.duration,
+        n_members=args.members,
+    ))
+    print(report.format_table())
+    if args.stack == "itgm":
+        return 0 if report.converged and report.safe else 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the whole reproduction as one markdown report."""
     from repro.attacks import run_attack_matrix
@@ -272,6 +307,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 "manual"))
     churn.add_argument("--seed", type=int, default=0)
     churn.set_defaults(func=_cmd_churn)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a chaos soak / the recovery matrix"
+    )
+    chaos.add_argument("--stack", choices=("itgm", "legacy"),
+                       default="itgm")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--duration", type=float, default=60.0)
+    chaos.add_argument("--members", type=int, default=5)
+    chaos.add_argument("--matrix", action="store_true",
+                       help="run the full recovery matrix instead")
+    chaos.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser(
         "report", help="regenerate the whole reproduction as one report"

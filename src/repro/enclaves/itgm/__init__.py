@@ -44,6 +44,14 @@ from repro.enclaves.itgm.persistence import (
     snapshot_leader,
 )
 from repro.enclaves.itgm.runtime import LeaderRuntime
+from repro.enclaves.itgm.supervisor import (
+    LeaderOrchestrator,
+    LeaderSuspected,
+    RecoveryExhausted,
+    RejoinedGroup,
+    ResilientMemberClient,
+    SupervisorConfig,
+)
 
 __all__ = [
     "AdminPayload",
@@ -62,6 +70,12 @@ __all__ = [
     "LeaderRuntime",
     "ManagerSet",
     "ResilientMember",
+    "ResilientMemberClient",
+    "SupervisorConfig",
+    "LeaderOrchestrator",
+    "LeaderSuspected",
+    "RejoinedGroup",
+    "RecoveryExhausted",
     "snapshot_leader",
     "restore_leader",
     "seal_snapshot",

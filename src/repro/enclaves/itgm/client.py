@@ -110,7 +110,9 @@ class MemberClient:
 
         async def _retransmit_loop() -> None:
             assert retransmit_interval is not None
-            while True:
+            # Stop as soon as the protocol leaves the joining state —
+            # once keyed (or rejected) there is nothing left to re-send.
+            while self.protocol.state is MemberState.WAITING_FOR_KEY:
                 await asyncio.sleep(retransmit_interval)
                 frame = self.protocol.retransmit_last()
                 if frame is not None:
@@ -130,6 +132,10 @@ class MemberClient:
         finally:
             if retransmitter is not None:
                 retransmitter.cancel()
+                try:
+                    await retransmitter
+                except asyncio.CancelledError:
+                    pass
 
     async def leave(self) -> None:
         """Send ReqClose and return to NotConnected."""

@@ -47,7 +47,7 @@ from repro.enclaves.itgm.leader_session import LeaderSession
 from repro.enclaves.itgm.member import app_ad
 from repro.exceptions import CodecError, IntegrityError, StateError
 from repro.util.clock import Clock, RealClock
-from repro.wire.codec import decode_fields
+from repro.wire.codec import decode_fields, encode_fields, encode_str
 from repro.wire.labels import Label
 from repro.wire.message import Envelope
 
@@ -133,6 +133,13 @@ class GroupLeader:
     @property
     def group_epoch(self) -> int:
         return self._group_epoch
+
+    @property
+    def group_key_fingerprint(self) -> str | None:
+        """Fingerprint of the current group key (None before the first)."""
+        if self._group_key is None:
+            return None
+        return self._group_key.fingerprint()
 
     def session_state(self, user_id: str):
         """The per-user FSM state (for tests/monitoring)."""
@@ -301,6 +308,29 @@ class GroupLeader:
             if envelope is not None:
                 out.append(envelope)
         return out
+
+    def heartbeat(self) -> list[Envelope]:
+        """Authenticated liveness beacons, one per current member.
+
+        The improved protocol denies *silently*, so a member cannot tell
+        a dead leader from one ignoring it — liveness detection must be
+        timer-driven on the member side (§7).  The beacon is an ordinary
+        APP_DATA frame from the leader sealed under the current group
+        key: one seal serves every member (the body is recipient-
+        independent), it costs no nonce-chain state, no acks, and no
+        admin-log growth, and only the real leader (or a member, whose
+        name the frame does not carry) could have produced it.
+        """
+        if self._group_cipher is None or not self.members:
+            return []
+        body = self._group_cipher.seal(
+            encode_fields([encode_str(self.leader_id), b"hb"]),
+            app_ad(self.leader_id),
+        ).to_bytes()
+        return [
+            Envelope(Label.APP_DATA, self.leader_id, member, body)
+            for member in self.members
+        ]
 
     # -- admin distribution --------------------------------------------------
 

@@ -415,3 +415,10 @@ class MemberProtocol:
     @property
     def has_group_key(self) -> bool:
         return self._group_cipher is not None
+
+    @property
+    def group_key_fingerprint(self) -> str | None:
+        """Fingerprint of the currently held group key (None if none)."""
+        if self._group_key is None:
+            return None
+        return self._group_key.fingerprint()

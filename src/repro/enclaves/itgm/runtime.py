@@ -24,21 +24,25 @@ class LeaderRuntime:
         leader: GroupLeader,
         endpoint: Endpoint,
         tick_interval: float | None = None,
+        heartbeat_interval: float | None = None,
     ) -> None:
         self.leader = leader
         self.endpoint = endpoint
         self.events: asyncio.Queue[Event] = asyncio.Queue()
         self._tick_interval = tick_interval
+        self._heartbeat_interval = heartbeat_interval
         self._tasks: list[asyncio.Task] = []
 
     def start(self) -> None:
-        """Start the receive (and optional tick) loops."""
+        """Start the receive (and optional tick/heartbeat) loops."""
         if self._tasks:
             return
         loop = asyncio.get_running_loop()
         self._tasks.append(loop.create_task(self._recv_loop()))
         if self._tick_interval is not None:
             self._tasks.append(loop.create_task(self._tick_loop()))
+        if self._heartbeat_interval is not None:
+            self._tasks.append(loop.create_task(self._heartbeat_loop()))
 
     async def stop(self) -> None:
         """Cancel loops and close the endpoint."""
@@ -70,6 +74,16 @@ class LeaderRuntime:
             while True:
                 await asyncio.sleep(self._tick_interval)
                 for out in self.leader.tick():
+                    await self.endpoint.send(out)
+        except (ConnectionClosed, asyncio.CancelledError):
+            pass
+
+    async def _heartbeat_loop(self) -> None:
+        assert self._heartbeat_interval is not None
+        try:
+            while True:
+                await asyncio.sleep(self._heartbeat_interval)
+                for out in self.leader.heartbeat():
                     await self.endpoint.send(out)
         except (ConnectionClosed, asyncio.CancelledError):
             pass

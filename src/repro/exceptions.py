@@ -82,6 +82,15 @@ class AccessDenied(ProtocolError):
     """The leader's access policy rejected a join request."""
 
 
+class RecoveryFailed(ProtocolError):
+    """A supervised member exhausted every rejoin/failover avenue.
+
+    Raised by :class:`~repro.enclaves.itgm.supervisor.ResilientMemberClient`
+    when its retry budget is spent across the whole manager list — the
+    terminal outcome of self-healing, as opposed to hanging forever.
+    """
+
+
 class FormalModelError(ReproError):
     """Base class for errors in the symbolic formal model."""
 

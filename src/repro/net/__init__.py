@@ -8,7 +8,18 @@ that has full Dolev-Yao power over frames.  A plain asyncio TCP transport
 (:mod:`repro.net.tcp`) runs the same protocol stack across real sockets.
 """
 
-from repro.net.adversary import Adversary, FrameAction, ObservedFrame
+from repro.net.adversary import Adversary, FrameAction, ObservedFrame, Verdict
+from repro.net.faults import (
+    DelayReorderPolicy,
+    FaultPlan,
+    GilbertElliottPolicy,
+    LeaderEvent,
+    LeaderEventKind,
+    PartitionPolicy,
+    PolicyWindow,
+    compose,
+)
+from repro.net.lossy import LossyPolicy
 from repro.net.memnet import MemoryEndpoint, MemoryNetwork
 from repro.net.transport import Endpoint, Transport
 
@@ -20,4 +31,14 @@ __all__ = [
     "Adversary",
     "FrameAction",
     "ObservedFrame",
+    "Verdict",
+    "LossyPolicy",
+    "PartitionPolicy",
+    "DelayReorderPolicy",
+    "GilbertElliottPolicy",
+    "compose",
+    "FaultPlan",
+    "PolicyWindow",
+    "LeaderEvent",
+    "LeaderEventKind",
 ]

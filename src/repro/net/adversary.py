@@ -32,6 +32,7 @@ class FrameAction(enum.Enum):
     DROP = "drop"            #: silently discard
     DUPLICATE = "duplicate"  #: deliver twice
     REPLACE = "replace"      #: deliver substitute frames instead
+    DELAY = "delay"          #: deliver later (possibly reordered)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +50,10 @@ class Verdict:
 
     action: FrameAction = FrameAction.DELIVER
     substitutes: list[Envelope] = field(default_factory=list)
+    #: Seconds to hold the frame before delivery (DELAY only).  Frames
+    #: with different hold times overtake each other, so delay is also
+    #: how a policy reorders traffic.
+    hold: float = 0.0
 
     @classmethod
     def deliver(cls) -> "Verdict":
@@ -65,6 +70,12 @@ class Verdict:
     @classmethod
     def replace(cls, *envelopes: Envelope) -> "Verdict":
         return cls(FrameAction.REPLACE, list(envelopes))
+
+    @classmethod
+    def delay(cls, hold: float) -> "Verdict":
+        if hold < 0:
+            raise ValueError("hold must be >= 0")
+        return cls(FrameAction.DELAY, hold=hold)
 
 
 Policy = Callable[[ObservedFrame], Verdict]

@@ -28,6 +28,10 @@ class LossyPolicy:
             raise ValueError("drop_rate must be in [0, 1)")
         if not 0.0 <= duplicate_rate < 1.0:
             raise ValueError("duplicate_rate must be in [0, 1)")
+        if drop_rate + duplicate_rate > 1.0:
+            raise ValueError(
+                "drop_rate + duplicate_rate must not exceed 1.0"
+            )
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate
         self._rng = DeterministicRandom(seed).fork("lossy")

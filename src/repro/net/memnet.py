@@ -118,6 +118,14 @@ class MemoryNetwork(Transport):
         elif verdict.action is FrameAction.REPLACE:
             for sub in verdict.substitutes:
                 self._deliver(sub)
+        elif verdict.action is FrameAction.DELAY:
+            # Held frames ride the event loop's timer wheel; frames with
+            # shorter holds overtake longer ones, so DELAY doubles as
+            # reordering.  Under a virtual-time loop this is exact and
+            # deterministic.
+            asyncio.get_running_loop().call_later(
+                verdict.hold, self._deliver, envelope
+            )
 
     async def deliver_raw(self, envelope: Envelope) -> None:
         """Adversary-injected delivery: no observation, no policy."""

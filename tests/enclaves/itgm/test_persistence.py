@@ -102,6 +102,31 @@ class TestWarmRestart:
         group.net.run()
         assert "bob" in restored.members
 
+    def test_restart_under_load_drains_cache_and_outboxes(self):
+        """Restart with BOTH a non-empty retransmission cache (one
+        in-flight frame per member, 'lost' at crash time) and queued
+        outboxes: the restored leader retransmits the in-flight frame
+        and then pumps the queue, and every member accepts everything
+        exactly once, in order."""
+        group = ItgmGroup(["alice", "bob", "carol"]).join_all()
+        group.leader.broadcast_admin(TextPayload("one"))  # in flight, lost
+        group.leader.broadcast_admin(TextPayload("two"))
+        group.leader.broadcast_admin(TextPayload("three"))
+        for user_id in group.members:
+            assert group.leader.outbox_depth(user_id) == 2
+        restored = warm_restart(group)
+        for user_id in group.members:
+            assert restored.outbox_depth(user_id) == 2
+        # Drive retransmission until the channels drain.
+        for _ in range(4):
+            group.net.post_all(restored.retransmit_stalled())
+            group.net.run()
+        for user_id, member in group.members.items():
+            texts = [p.text for p in member.admin_log
+                     if isinstance(p, TextPayload)]
+            assert texts == ["one", "two", "three"]
+            assert restored.outbox_depth(user_id) == 0
+
     def test_rejoin_after_restart_rejected_replays(self):
         """Old session artifacts still die after a restart (the
         discarded-keys list and nonce state made the trip)."""

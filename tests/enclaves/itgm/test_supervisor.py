@@ -1,0 +1,341 @@
+"""Tests for the self-healing member and the leader orchestrator.
+
+Everything runs on the virtual-time loop, so heartbeat timeouts,
+backoff sleeps, and crash/restore races are exact and instant.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chaos.loop import LoopClock, run_virtual
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import UserDirectory
+from repro.enclaves.itgm import (
+    LeaderOrchestrator,
+    RecoveryExhausted,
+    RejoinedGroup,
+    ResilientMemberClient,
+    SupervisorConfig,
+    TextPayload,
+)
+from repro.enclaves.itgm.member import MemberState
+from repro.exceptions import StateError
+from repro.net import MemoryNetwork
+
+MANAGERS = ["mgr-0", "mgr-1"]
+
+FAST = SupervisorConfig(
+    liveness_timeout=1.0,
+    check_interval=0.1,
+    join_timeout=0.5,
+    retransmit_interval=0.1,
+    backoff_base=0.1,
+    backoff_max=0.5,
+    max_rounds=4,
+)
+
+
+def build(n_members=2, manager_ids=MANAGERS, seed=3, config=FAST):
+    net = MemoryNetwork()
+    directory = UserDirectory()
+    rng = DeterministicRandom(seed)
+    member_ids = [f"user-{i}" for i in range(n_members)]
+    creds = {
+        uid: directory.register_password(uid, f"pw-{uid}")
+        for uid in member_ids
+    }
+    orchestrator = LeaderOrchestrator(
+        net, directory, list(manager_ids),
+        rng=rng.fork("mgrs"),
+        clock=LoopClock(asyncio.get_event_loop()),
+        tick_interval=0.1, heartbeat_interval=0.25,
+    )
+    members = {
+        uid: ResilientMemberClient(
+            {m: creds[uid] for m in manager_ids},
+            list(manager_ids), net,
+            config=config, rng=rng.fork(uid),
+        )
+        for uid in member_ids
+    }
+    return net, orchestrator, members
+
+
+async def start_all(orchestrator, members):
+    await orchestrator.start()
+    for supervisor in members.values():
+        await supervisor.start()
+    await asyncio.sleep(0.2)
+
+
+async def stop_all(orchestrator, members):
+    for supervisor in members.values():
+        await supervisor.stop()
+    await orchestrator.stop()
+
+
+async def wait_until(predicate, timeout=30.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while asyncio.get_event_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.1)
+    return predicate()
+
+
+def events_of(supervisor, kind):
+    out = []
+    while not supervisor.events.empty():
+        event = supervisor.events.get_nowait()
+        if isinstance(event, kind):
+            out.append(event)
+    return out
+
+
+class TestSelfHealing:
+    def test_initial_join_connects_everyone(self):
+        async def scenario():
+            _, orchestrator, members = build()
+            await start_all(orchestrator, members)
+            try:
+                for supervisor in members.values():
+                    assert supervisor.connected
+                    assert supervisor.active == "mgr-0"
+                assert orchestrator.current_leader.members == sorted(members)
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_warm_restore_is_invisible_to_members(self):
+        """A crash shorter than the liveness timeout, restored warm,
+        causes no suspicion and keeps every session's nonce chain."""
+        async def scenario():
+            _, orchestrator, members = build()
+            await start_all(orchestrator, members)
+            try:
+                await orchestrator.crash(flush=True)
+                await asyncio.sleep(0.3)
+                await orchestrator.restore_warm()
+                await asyncio.sleep(2.0)
+                for supervisor in members.values():
+                    assert supervisor.connected
+                    assert supervisor.suspicions == 0
+                # The restored leader still serves the admin channel.
+                await orchestrator.runtime.broadcast_admin(
+                    TextPayload("post-restore")
+                )
+                assert await wait_until(lambda: all(
+                    TextPayload("post-restore")
+                    in s.client.protocol.admin_log
+                    for s in members.values()
+                ))
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_warm_restore_with_pending_outboxes_and_retransmit_cache(self):
+        """Crash with one admin in flight per member and more queued:
+        the crash-time snapshot carries the retransmission cache and the
+        outboxes, and the restored leader drains both."""
+        async def scenario():
+            _, orchestrator, members = build()
+            await start_all(orchestrator, members)
+            try:
+                leader = orchestrator.current_leader
+                # Queue three payloads back to back: the first is in
+                # flight (stop-and-wait), the rest sit in each outbox.
+                for text in ("one", "two", "three"):
+                    leader.broadcast_admin(TextPayload(text))
+                for uid in members:
+                    assert leader.outbox_depth(uid) == 2
+                await orchestrator.crash(flush=True)
+                await asyncio.sleep(0.3)
+                await orchestrator.restore_warm()
+                restored = orchestrator.current_leader
+                assert restored is not leader
+                assert await wait_until(lambda: all(
+                    [p.text for p in s.client.protocol.admin_log
+                     if isinstance(p, TextPayload)] ==
+                    ["one", "two", "three"]
+                    for s in members.values()
+                ))
+                for uid in members:
+                    assert restored.outbox_depth(uid) == 0
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_failover_to_standby(self):
+        async def scenario():
+            _, orchestrator, members = build()
+            await start_all(orchestrator, members)
+            try:
+                await orchestrator.failover()
+                assert orchestrator.current_id == "mgr-1"
+                assert await wait_until(lambda: all(
+                    s.connected and s.active == "mgr-1"
+                    for s in members.values()
+                ))
+                fingerprint = (
+                    orchestrator.current_leader.group_key_fingerprint
+                )
+                assert await wait_until(lambda: all(
+                    s.group_key_fingerprint == fingerprint
+                    for s in members.values()
+                ))
+                for supervisor in members.values():
+                    assert supervisor.suspicions >= 1
+                    rejoined = events_of(supervisor, RejoinedGroup)
+                    assert rejoined[-1].leader_id == "mgr-1"
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_rejoin_live_leader_after_spurious_suspicion(self):
+        """If the leader was merely unreachable (not dead), the member
+        must close its stale session before the leader accepts a fresh
+        handshake — the supervisor does this transparently."""
+        async def scenario():
+            net, orchestrator, members = build(n_members=1)
+            await start_all(orchestrator, members)
+            supervisor = next(iter(members.values()))
+            try:
+                # Silence everything until the member suspects mgr-0.
+                from repro.net.adversary import Adversary, Verdict
+
+                adversary = Adversary()
+                net.attach_adversary(adversary)
+                adversary.set_policy(lambda f: Verdict.drop())
+                assert await wait_until(lambda: supervisor.suspicions >= 1)
+                adversary.set_policy(None)
+                assert await wait_until(lambda: supervisor.connected)
+                assert supervisor.active == "mgr-0"
+                assert supervisor.rejoins >= 2
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_recovery_exhaustion_is_terminal_not_a_hang(self):
+        """Both managers dead: the supervisor burns its rounds, emits
+        RecoveryExhausted, and its task exits cleanly."""
+        async def scenario():
+            _, orchestrator, members = build(n_members=1)
+            await start_all(orchestrator, members)
+            supervisor = next(iter(members.values()))
+            try:
+                await orchestrator.crash()
+                await asyncio.wait_for(supervisor.wait_done(), timeout=120)
+                assert supervisor.gave_up
+                exhausted = events_of(supervisor, RecoveryExhausted)
+                assert len(exhausted) == 1
+                assert exhausted[0].attempts >= FAST.max_rounds * 2
+                with pytest.raises(StateError):
+                    await supervisor.send_app(b"nope")
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_app_traffic_refreshes_liveness(self):
+        async def scenario():
+            _, orchestrator, members = build()
+            await start_all(orchestrator, members)
+            try:
+                uid = sorted(members)[0]
+                await members[uid].send_app(b"ping")
+                await asyncio.sleep(0.2)
+                other = sorted(members)[1]
+                drained = events_of(members[other], object)
+                assert any(
+                    getattr(e, "payload", None) == b"ping" for e in drained
+                )
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+
+class TestOrchestrator:
+    def test_failover_exhaustion_raises_clean_error(self):
+        """When the standby list runs dry, failover() raises StateError
+        instead of spinning — the leader-side terminal outcome."""
+        async def scenario():
+            _, orchestrator, members = build()
+            await orchestrator.start()
+            try:
+                await orchestrator.failover()   # mgr-0 -> mgr-1
+                with pytest.raises(StateError, match="all group managers"):
+                    await orchestrator.failover()  # nothing left
+                assert orchestrator.failed == {"mgr-0", "mgr-1"}
+                assert orchestrator.runtime is None
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_cold_crash_has_no_snapshot(self):
+        async def scenario():
+            _, orchestrator, members = build()
+            await orchestrator.start()
+            try:
+                await orchestrator.crash(flush=False)
+                with pytest.raises(StateError, match="no snapshot"):
+                    await orchestrator.restore_warm()
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_crash_requires_running_manager(self):
+        async def scenario():
+            _, orchestrator, members = build()
+            with pytest.raises(StateError):
+                await orchestrator.crash()
+
+        run_virtual(scenario())
+
+
+class TestRetransmitLoopFix:
+    def test_retransmissions_stop_once_connected(self):
+        """The client's join retransmit loop exits as soon as the
+        protocol leaves WAITING_FOR_KEY (and its task is awaited, not
+        leaked)."""
+        async def scenario():
+            from repro.enclaves.itgm import (
+                GroupLeader,
+                LeaderRuntime,
+                MemberClient,
+            )
+
+            net = MemoryNetwork()
+            directory = UserDirectory()
+            creds = directory.register_password("alice", "pw")
+            leader = GroupLeader("leader", directory)
+            runtime = LeaderRuntime(leader, await net.attach("leader"))
+            runtime.start()
+            client = MemberClient(creds, "leader", await net.attach("alice"))
+            await client.join(timeout=5.0, retransmit_interval=0.05)
+            assert client.protocol.state is MemberState.CONNECTED
+            # No retransmit task lingers after join() returns (the
+            # client's receive loop is the only task it keeps).
+            assert not [
+                t for t in asyncio.all_tasks()
+                if "_retransmit_loop" in repr(t.get_coro())
+            ]
+            rejected_before = leader._sessions["alice"].stats.rejected
+            await asyncio.sleep(1.0)
+            # ... and nothing keeps hitting the leader with stale
+            # handshake frames.
+            assert (
+                leader._sessions["alice"].stats.rejected == rejected_before
+            )
+            await client.stop()
+            await runtime.stop()
+
+        run_virtual(scenario())
