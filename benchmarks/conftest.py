@@ -12,6 +12,9 @@ passing benchmark run is itself a reproduction check.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.crypto.rng import DeterministicRandom
@@ -21,6 +24,20 @@ from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
 from repro.enclaves.itgm.member import MemberProtocol
 from repro.enclaves.legacy.leader import LegacyGroupLeader
 from repro.enclaves.legacy.member import LegacyMemberProtocol
+
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def write_bench_artifact(name: str, payload: dict) -> Path:
+    """Persist one ``BENCH_<name>.json`` artifact next to the suite.
+
+    Artifacts are committed, so the bench trajectory across revisions
+    is reviewable in the history, not just in CI logs.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def build_itgm_group(n_members: int, seed: int = 0,

@@ -1,0 +1,129 @@
+"""PERF-T: telemetry-disabled overhead on the protocol hot paths.
+
+The instrumentation contract is that an unsubscribed bus is free: the
+public ``handle()`` is the seed dispatch body plus a single falsy-bus
+branch.  This bench times both entry points — ``_dispatch`` *is* the
+seed code path, ``handle`` is the instrumented one with zero
+subscribers — on the auth-handshake and rekey hot paths, and asserts
+the events-disabled cost stays within 2% of the seed path.
+
+The measured ratios (min over repeats, so scheduler noise cancels) are
+written to ``BENCH_telemetry.json`` so the overhead trajectory is part
+of the artifact history.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_bench_artifact
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import UserDirectory
+from repro.enclaves.harness import SyncNetwork
+from repro.enclaves.itgm.leader import GroupLeader
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+
+REPEATS = 5
+JOINERS = 6
+REKEY_ROUNDS = 10
+#: The acceptance bound: events-disabled hot path within 2% of seed.
+MAX_OVERHEAD = 1.02
+
+ENTRIES = ("_dispatch", "handle")
+
+
+def _fresh_stack(entry: str, seed: int, n_members: int):
+    """A network whose cores are wired through ``entry`` —
+    ``"_dispatch"`` (the seed body) or ``"handle"`` (instrumented)."""
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    directory = UserDirectory()
+    leader = GroupLeader("leader", directory, rng=rng.fork("leader"))
+    net.register("leader", getattr(leader, entry))
+    members = {}
+    for i in range(n_members):
+        user_id = f"user-{i:03d}"
+        creds = directory.register_password(user_id, f"pw-{i}")
+        member = MemberProtocol(creds, "leader", rng.fork(user_id))
+        members[user_id] = member
+        net.register(user_id, getattr(member, entry))
+    return net, leader, members
+
+
+def _interleaved_best(measure) -> dict[str, float]:
+    """Best-of-REPEATS per entry point, the two arms interleaved and
+    alternating order each repeat so clock drift and frequency scaling
+    hit both equally."""
+    best = {entry: float("inf") for entry in ENTRIES}
+    for attempt in range(REPEATS):
+        order = ENTRIES if attempt % 2 == 0 else ENTRIES[::-1]
+        for entry in order:
+            best[entry] = min(best[entry], measure(entry, attempt))
+    return best
+
+
+def _joins_once(entry: str, attempt: int) -> float:
+    """Seconds to run JOINERS full handshakes."""
+    net, leader, members = _fresh_stack(entry, seed=attempt,
+                                        n_members=JOINERS)
+    start = time.perf_counter()
+    for member in members.values():
+        net.post(member.start_join())
+        net.run()
+    elapsed = time.perf_counter() - start
+    assert all(m.state is MemberState.CONNECTED
+               for m in members.values())
+    return elapsed
+
+
+def _rekeys_once(entry: str, attempt: int) -> float:
+    """Seconds for REKEY_ROUNDS full rekey fan-outs over a joined
+    four-member group."""
+    net, leader, members = _fresh_stack(entry, seed=attempt, n_members=4)
+    for member in members.values():
+        net.post(member.start_join())
+        net.run()
+    start = time.perf_counter()
+    for _ in range(REKEY_ROUNDS):
+        net.post_all(leader.rekey_now())
+        net.run()
+    elapsed = time.perf_counter() - start
+    epochs = {m.group_epoch for m in members.values()}
+    assert epochs == {leader._group_epoch}
+    return elapsed
+
+
+def test_disabled_telemetry_overhead_within_bound():
+    handshake = _interleaved_best(_joins_once)
+    rekey = _interleaved_best(_rekeys_once)
+    handshake_seed = handshake["_dispatch"]
+    handshake_instr = handshake["handle"]
+    rekey_seed = rekey["_dispatch"]
+    rekey_instr = rekey["handle"]
+
+    handshake_ratio = handshake_instr / handshake_seed
+    rekey_ratio = rekey_instr / rekey_seed
+
+    write_bench_artifact("telemetry", {
+        "bound": MAX_OVERHEAD,
+        "auth_handshake": {
+            "seed_s": handshake_seed,
+            "instrumented_disabled_s": handshake_instr,
+            "ratio": handshake_ratio,
+            "joins_per_measurement": JOINERS,
+        },
+        "rekey": {
+            "seed_s": rekey_seed,
+            "instrumented_disabled_s": rekey_instr,
+            "ratio": rekey_ratio,
+            "rounds_per_measurement": REKEY_ROUNDS,
+        },
+        "repeats": REPEATS,
+    })
+
+    assert handshake_ratio <= MAX_OVERHEAD, (
+        f"auth-handshake overhead {handshake_ratio:.4f} > {MAX_OVERHEAD}"
+    )
+    assert rekey_ratio <= MAX_OVERHEAD, (
+        f"rekey overhead {rekey_ratio:.4f} > {MAX_OVERHEAD}"
+    )

@@ -14,6 +14,7 @@ from repro.chaos.loop import LoopClock, VirtualTimeEventLoop, run_virtual
 from repro.chaos.soak import (
     SoakConfig,
     SoakReport,
+    clip_to_duration,
     format_recovery_matrix,
     run_recovery_matrix,
     run_soak,
@@ -25,6 +26,7 @@ __all__ = [
     "run_virtual",
     "SoakConfig",
     "SoakReport",
+    "clip_to_duration",
     "run_soak",
     "run_recovery_matrix",
     "format_recovery_matrix",

@@ -25,7 +25,7 @@ attack matrix.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.chaos.loop import LoopClock, run_virtual
 from repro.crypto.rng import DeterministicRandom
@@ -45,6 +45,8 @@ from repro.net.adversary import Adversary
 from repro.net.faults import FaultPlan, LeaderEventKind
 from repro.net.memnet import MemoryNetwork
 from repro.sim.metrics import MetricSet
+from repro.telemetry.events import EventBus
+from repro.telemetry.health import HealthProbe
 
 
 @dataclass
@@ -147,6 +149,42 @@ class SoakReport:
 # -- plan construction -------------------------------------------------------
 
 
+def clip_to_duration(config: SoakConfig) -> SoakConfig:
+    """Fit the fault timeline into (possibly short) ``config.duration``.
+
+    The default :class:`SoakConfig` schedule assumes a 60-second run; a
+    shorter ``--duration`` would otherwise leave faults active past the
+    point where convergence is checked, guaranteeing failure.  The rule:
+    every fault must heal — and every leader event must fire — by 60%
+    of the duration, leaving the rest for recovery.  Windows starting
+    past that horizon are dropped; windows straddling it are clipped.
+    At the default 60-second duration this is the identity.
+    """
+    horizon = 0.6 * config.duration
+
+    def clip(window: tuple[float, float] | None):
+        if window is None or window[0] >= horizon:
+            return None
+        return (window[0], min(window[1], horizon))
+
+    clipped = replace(
+        config,
+        loss_window=clip(config.loss_window),
+        delay_window=clip(config.delay_window),
+        bursty_window=clip(config.bursty_window),
+        partition_window=clip(config.partition_window),
+    )
+    if clipped.restore_at is None or clipped.restore_at > horizon:
+        clipped.crash_warm_at = None
+        clipped.restore_at = None
+    if (
+        clipped.crash_failover_at is not None
+        and clipped.crash_failover_at > horizon
+    ):
+        clipped.crash_failover_at = None
+    return clipped
+
+
 def build_default_plan(
     config: SoakConfig,
     member_addresses: list[str],
@@ -230,12 +268,21 @@ def _member_safety(
 # -- the improved (itgm) stack soak ------------------------------------------
 
 
-async def _soak_itgm(config: SoakConfig) -> SoakReport:
+async def _soak_itgm(
+    config: SoakConfig, telemetry: EventBus | None = None
+) -> SoakReport:
     loop = asyncio.get_running_loop()
     rng = DeterministicRandom(config.seed)
     metrics = MetricSet()
     violations: list[str] = []
     notes: list[str] = []
+
+    probe: HealthProbe | None = None
+    if telemetry is not None:
+        # Stamp events in virtual time so per-seed logs are identical.
+        telemetry.set_clock(LoopClock(loop))
+        probe = HealthProbe()
+        probe.subscribe_to(telemetry)
 
     member_ids = [f"user-{i}" for i in range(config.n_members)]
     manager_ids = [f"mgr-{i}" for i in range(config.n_managers)]
@@ -245,11 +292,11 @@ async def _soak_itgm(config: SoakConfig) -> SoakReport:
         for uid in member_ids
     }
 
-    net = MemoryNetwork()
-    adversary = Adversary()
+    net = MemoryNetwork(telemetry=telemetry)
+    adversary = Adversary(telemetry=telemetry)
     net.attach_adversary(adversary)
     plan = build_default_plan(config, member_ids, manager_ids)
-    adversary.set_policy(plan.as_policy(loop.time))
+    adversary.set_policy(plan.as_policy(loop.time, telemetry=telemetry))
 
     orchestrator = LeaderOrchestrator(
         net, directory, manager_ids,
@@ -262,6 +309,7 @@ async def _soak_itgm(config: SoakConfig) -> SoakReport:
         clock=LoopClock(loop),
         tick_interval=config.tick_interval,
         heartbeat_interval=config.heartbeat_interval,
+        telemetry=telemetry,
     )
     await orchestrator.start()
 
@@ -271,6 +319,7 @@ async def _soak_itgm(config: SoakConfig) -> SoakReport:
             manager_ids, net,
             config=config.supervisor,
             rng=rng.fork(uid),
+            telemetry=telemetry,
         )
         for uid in member_ids
     }
@@ -391,6 +440,8 @@ async def _soak_itgm(config: SoakConfig) -> SoakReport:
             for leader in orchestrator.leaders.values()),
     )
 
+    if probe is not None:
+        violations.extend(probe.violations)
     deduped = sorted(set(violations))
     return SoakReport(
         stack="itgm",
@@ -445,12 +496,17 @@ class _SansIoDriver:
         await self.endpoint.close()
 
 
-async def _soak_legacy(config: SoakConfig) -> SoakReport:
+async def _soak_legacy(
+    config: SoakConfig, telemetry: EventBus | None = None
+) -> SoakReport:
     loop = asyncio.get_running_loop()
     rng = DeterministicRandom(config.seed)
     metrics = MetricSet()
     violations: list[str] = []
     notes: list[str] = []
+
+    if telemetry is not None:
+        telemetry.set_clock(LoopClock(loop))
 
     member_ids = [f"user-{i}" for i in range(config.n_members)]
     leader_id = "mgr-0"
@@ -460,11 +516,14 @@ async def _soak_legacy(config: SoakConfig) -> SoakReport:
         for uid in member_ids
     }
 
-    net = MemoryNetwork()
-    adversary = Adversary()
+    # The legacy cores predate the event bus (the point of the recovery
+    # matrix is their *lack* of observability hooks), but the wire-level
+    # fates are still visible.
+    net = MemoryNetwork(telemetry=telemetry)
+    adversary = Adversary(telemetry=telemetry)
     net.attach_adversary(adversary)
     plan = build_default_plan(config, member_ids, [leader_id])
-    adversary.set_policy(plan.as_policy(loop.time))
+    adversary.set_policy(plan.as_policy(loop.time, telemetry=telemetry))
 
     leader = LegacyGroupLeader(
         leader_id, directory,
@@ -604,13 +663,22 @@ async def _soak_legacy(config: SoakConfig) -> SoakReport:
     )
 
 
-def run_soak(config: SoakConfig | None = None) -> SoakReport:
-    """Run one soak scenario deterministically on the virtual clock."""
+def run_soak(
+    config: SoakConfig | None = None,
+    telemetry: EventBus | None = None,
+) -> SoakReport:
+    """Run one soak scenario deterministically on the virtual clock.
+
+    With ``telemetry``, the whole stack emits onto the given bus, the
+    bus clock is swapped to virtual time (so per-seed logs are
+    byte-identical), and a live :class:`HealthProbe` folds event-level
+    invariant violations into the report.
+    """
     config = config if config is not None else SoakConfig()
     if config.stack == "itgm":
-        return run_virtual(_soak_itgm(config))
+        return run_virtual(_soak_itgm(config, telemetry))
     if config.stack == "legacy":
-        return run_virtual(_soak_legacy(config))
+        return run_virtual(_soak_legacy(config, telemetry))
     raise ValueError(f"unknown stack {config.stack!r}")
 
 

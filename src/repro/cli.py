@@ -20,6 +20,10 @@ Commands
     Run a seeded chaos soak (or the full recovery matrix) on the
     virtual clock and print the recovery-metrics table; exits nonzero
     on a safety violation or failed convergence of the improved stack.
+``trace``
+    Run a scenario (demo session, attack matrix, chaos soak) with the
+    telemetry layer attached: live event summary, blocked-frame trail,
+    optional JSONL export and Prometheus dump.
 """
 
 from __future__ import annotations
@@ -32,15 +36,20 @@ from repro.formal.render import render_figure2, render_figure3, render_figure4
 from repro.formal.verify import verify_protocol
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _run_demo_session(seed: int):
+    """The scripted demo group session (join, chat, rekey, leave).
+
+    Returns ``(net, leader, members, keys)`` so both ``demo`` (which
+    prints the annotated transcript) and ``trace`` (which observes the
+    telemetry stream) can drive the same scenario.
+    """
     from repro.crypto.rng import DeterministicRandom
     from repro.enclaves.common import UserDirectory
     from repro.enclaves.harness import SyncNetwork, wire
     from repro.enclaves.itgm.leader import GroupLeader
     from repro.enclaves.itgm.member import MemberProtocol
-    from repro.enclaves.tracing import KeyRing, format_transcript
 
-    rng = DeterministicRandom(args.seed)
+    rng = DeterministicRandom(seed)
     net = SyncNetwork()
     directory = UserDirectory()
     leader = GroupLeader("leader", directory, rng=rng.fork("leader"))
@@ -68,6 +77,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             key = getattr(member, attr)
             if key is not None:
                 keys.append(key)
+    return net, leader, members, keys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.enclaves.tracing import KeyRing, format_transcript
+
+    net, leader, _members, keys = _run_demo_session(args.seed)
     print(format_transcript(net.wire_log, KeyRing(keys),
                             title="demo session transcript"))
     print(f"\nfinal members: {leader.members}")
@@ -149,21 +165,35 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         "periodic": RekeyPolicy.PERIODIC,
         "manual": RekeyPolicy.MANUAL,
     }
+    bus = exporter = summary = None
+    if args.telemetry:
+        from repro.telemetry import EventBus, LiveSummary, attach_jsonl
+
+        bus = EventBus()
+        exporter = attach_jsonl(bus, args.telemetry)
+        summary = LiveSummary()
+        bus.subscribe(summary)
     report = run_churn(
         ChurnScenario(
             n_users=args.users,
             duration=args.duration,
             rekey_policy=policies[args.policy],
             seed=args.seed,
-        )
+        ),
+        telemetry=bus,
     )
     print(report.summary())
+    if exporter is not None:
+        exporter.close()
+        print(summary.render())
+        print(f"wrote {args.telemetry} ({exporter.lines_written} events)")
     return 0 if report.views_consistent else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import (
         SoakConfig,
+        clip_to_duration,
         format_recovery_matrix,
         run_recovery_matrix,
         run_soak,
@@ -182,14 +212,118 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("\nimproved stack recovered everywhere with zero violations")
         return 0
 
-    report = run_soak(SoakConfig(
+    bus = exporter = summary = None
+    if args.telemetry:
+        from repro.telemetry import EventBus, LiveSummary, attach_jsonl
+
+        bus = EventBus()
+        exporter = attach_jsonl(bus, args.telemetry)
+        summary = LiveSummary()
+        bus.subscribe(summary)
+    config = clip_to_duration(SoakConfig(
         stack=args.stack, seed=args.seed, duration=args.duration,
         n_members=args.members,
     ))
+    report = run_soak(config, telemetry=bus)
     print(report.format_table())
+    if exporter is not None:
+        exporter.close()
+        print(summary.render())
+        print(f"wrote {args.telemetry} ({exporter.lines_written} events)")
     if args.stack == "itgm":
         return 0 if report.converged and report.safe else 1
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario with the telemetry layer attached and report it.
+
+    ``demo`` and ``attack-matrix`` build their protocol stacks with no
+    telemetry plumbing — they are observed by subscribing to the
+    process-wide :data:`~repro.telemetry.events.DEFAULT_BUS` every
+    component falls back to.  The bus clock is swapped to a logical
+    :class:`~repro.util.clock.TickClock` for the duration so exported
+    logs are deterministic per seed (and restored after).  ``chaos``
+    runs on a private bus in virtual time instead.
+    """
+    from repro.telemetry import (
+        DEFAULT_BUS,
+        EventBus,
+        LiveSummary,
+        MetricsRegistry,
+        attach_jsonl,
+        events_to_registry,
+        render_prometheus,
+        validate_jsonl,
+    )
+    from repro.util.clock import TickClock
+
+    records: list = []
+    summary = LiveSummary()
+    registry = MetricsRegistry()
+    mirror = events_to_registry(registry)
+
+    bus = EventBus() if args.scenario == "chaos" else DEFAULT_BUS
+    old_clock = bus.clock
+    old_seq = bus.seq
+    bus.set_clock(TickClock())
+    # Fresh logical stream: a repeat same-seed run in one process must
+    # export the same bytes a fresh process would.
+    bus.reset_seq()
+    exporter = attach_jsonl(bus, args.out) if args.out else None
+    bus.subscribe(records.append)
+    bus.subscribe(summary)
+    bus.subscribe(mirror)
+    status = 0
+    try:
+        if args.scenario == "demo":
+            _run_demo_session(args.seed)
+        elif args.scenario == "attack-matrix":
+            from repro.attacks import run_attack_matrix
+
+            rows = run_attack_matrix(seed=args.seed)
+            status = 0 if all(row.as_expected for row in rows) else 1
+        else:  # chaos
+            from repro.chaos import SoakConfig, clip_to_duration, run_soak
+
+            report = run_soak(
+                clip_to_duration(SoakConfig(
+                    seed=args.seed, duration=args.duration,
+                )),
+                telemetry=bus,
+            )
+            status = 0 if report.converged and report.safe else 1
+    finally:
+        bus.unsubscribe(records.append)
+        bus.unsubscribe(summary)
+        bus.unsubscribe(mirror)
+        if exporter is not None:
+            bus.unsubscribe(exporter)
+            exporter.close()
+        bus.set_clock(old_clock)
+        bus.reset_seq(old_seq)
+
+    print(summary.render())
+    blocked = [
+        r for r in records
+        if type(r.event).__name__ in ("ReplayRejected", "IntegrityRejected")
+    ]
+    if blocked:
+        print("\nblocked frames:")
+        for record in blocked:
+            event = record.event
+            print(
+                f"  seq={record.seq:<5} {type(event).__name__:<18} "
+                f"node={event.node:<10} label={event.label:<16} "
+                f"frame={event.frame}  {event.reason}"
+            )
+    if args.prometheus:
+        print()
+        print(render_prometheus(registry), end="")
+    if args.out:
+        validate_jsonl(args.out)
+        print(f"\nwrote {args.out} ({len(records)} events, schema-valid)")
+    return status
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -306,6 +440,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("membership", "on-leave", "periodic",
                                 "manual"))
     churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--telemetry", metavar="PATH",
+                       help="export the telemetry event stream as JSONL")
     churn.set_defaults(func=_cmd_churn)
 
     chaos = sub.add_parser(
@@ -318,7 +454,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--members", type=int, default=5)
     chaos.add_argument("--matrix", action="store_true",
                        help="run the full recovery matrix instead")
+    chaos.add_argument("--telemetry", metavar="PATH",
+                       help="export the telemetry event stream as JSONL "
+                            "(ignored with --matrix)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario with live telemetry attached"
+    )
+    trace.add_argument("--scenario",
+                       choices=("demo", "attack-matrix", "chaos"),
+                       default="demo")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--duration", type=float, default=30.0,
+                       help="virtual seconds (chaos scenario only)")
+    trace.add_argument("--out", metavar="PATH",
+                       help="also export the events as JSONL")
+    trace.add_argument("--prometheus", action="store_true",
+                       help="dump event tallies in Prometheus text format")
+    trace.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser(
         "report", help="regenerate the whole reproduction as one report"

@@ -14,6 +14,13 @@ from collections import deque
 from collections.abc import Callable
 
 from repro.enclaves.common import Event
+from repro.telemetry.events import (
+    EventBus,
+    FrameDropped,
+    FrameInjected,
+    frame_id,
+    resolve_bus,
+)
 from repro.wire.message import Envelope
 
 #: An interceptor sees each envelope before delivery and returns the list
@@ -29,7 +36,7 @@ Handler = Callable[[Envelope], "tuple[list[Envelope], list[Event]]"]
 class SyncNetwork:
     """Deterministic in-process network for sans-IO protocol cores."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: EventBus | None = None) -> None:
         self._handlers: dict[str, Handler] = {}
         self._queue: deque[Envelope] = deque()
         #: All envelopes ever posted, in order (the wire log).
@@ -37,6 +44,7 @@ class SyncNetwork:
         #: Events emitted by each address, in order.
         self.events: dict[str, list[Event]] = {}
         self._interceptor: Interceptor | None = None
+        self._telemetry = resolve_bus(telemetry)
         self.delivered = 0
         self.dropped = 0
 
@@ -59,6 +67,11 @@ class SyncNetwork:
             if replacement is not None:
                 if not replacement:
                     self.dropped += 1
+                    if self._telemetry:
+                        self._telemetry.emit(FrameDropped(
+                            envelope.sender, envelope.recipient,
+                            envelope.label.name, frame_id(envelope),
+                        ))
                 for sub in replacement:
                     self._queue.append(sub)
                 return
@@ -73,6 +86,11 @@ class SyncNetwork:
         is still updated (the attacker's own messages are part of the
         trace, as in the formal model)."""
         self.wire_log.append(envelope)
+        if self._telemetry:
+            self._telemetry.emit(FrameInjected(
+                envelope.sender, envelope.recipient,
+                envelope.label.name, frame_id(envelope),
+            ))
         self._queue.append(envelope)
 
     # -- pumping -----------------------------------------------------------------

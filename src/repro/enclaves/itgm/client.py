@@ -15,6 +15,8 @@ from repro.enclaves.common import Credentials, Event
 from repro.enclaves.itgm.member import MemberProtocol, MemberState
 from repro.exceptions import ConnectionClosed, ProtocolError
 from repro.net.transport import Endpoint
+from repro.telemetry.events import EventBus, resolve_bus
+from repro.telemetry.spans import SpanTracer
 
 
 class MemberClient:
@@ -26,13 +28,30 @@ class MemberClient:
         leader_id: str,
         endpoint: Endpoint,
         rng: RandomSource | None = None,
+        telemetry: EventBus | None = None,
+        tracer: SpanTracer | None = None,
     ) -> None:
-        self.protocol = MemberProtocol(credentials, leader_id, rng)
+        self._telemetry = resolve_bus(telemetry)
+        self.protocol = MemberProtocol(
+            credentials, leader_id, rng, telemetry=self._telemetry
+        )
         self.endpoint = endpoint
         #: Every protocol event, in order; consumers drain this queue.
         self.events: asyncio.Queue[Event] = asyncio.Queue()
         self._state_changed = asyncio.Event()
         self._recv_task: asyncio.Task | None = None
+        self._tracer = tracer
+
+    @property
+    def tracer(self) -> SpanTracer:
+        """The span tracer (created lazily on the running loop's clock
+        when none was injected)."""
+        if self._tracer is None:
+            self._tracer = SpanTracer(
+                time_source=asyncio.get_running_loop().time,
+                bus=self._telemetry,
+            )
+        return self._tracer
 
     @property
     def user_id(self) -> str:
@@ -99,6 +118,13 @@ class MemberClient:
         packet loss are indistinguishable by design).
         """
         self.start()
+        # Trace the handshake when telemetry is live or a tracer was
+        # injected; otherwise stay strictly zero-cost.
+        span = (
+            self.tracer.start("handshake", node=self.user_id)
+            if (self._telemetry or self._tracer is not None)
+            else None
+        )
         await self.endpoint.send(self.protocol.start_join())
 
         async def _until_ready() -> None:
@@ -125,7 +151,11 @@ class MemberClient:
         )
         try:
             await asyncio.wait_for(_until_ready(), timeout)
+            if span is not None:
+                self.tracer.finish(span, ok=True)
         except asyncio.TimeoutError:
+            if span is not None:
+                self.tracer.finish(span, ok=False)
             raise ProtocolError(
                 f"{self.user_id}: join timed out (denied or lost)"
             ) from None

@@ -46,6 +46,16 @@ from repro.enclaves.itgm.admin import (
 from repro.enclaves.itgm.leader_session import LeaderSession
 from repro.enclaves.itgm.member import app_ad
 from repro.exceptions import CodecError, IntegrityError, StateError
+from repro.telemetry.events import (
+    AuthAccepted,
+    EventBus,
+    JoinDenied,
+    MemberDeparted,
+    MemberExpelled,
+    RekeyIssued,
+    rejection_event,
+    resolve_bus,
+)
 from repro.util.clock import Clock, RealClock
 from repro.wire.codec import decode_fields, encode_fields, encode_str
 from repro.wire.labels import Label
@@ -91,12 +101,14 @@ class GroupLeader:
         config: LeaderConfig | None = None,
         rng: RandomSource | None = None,
         clock: Clock | None = None,
+        telemetry: EventBus | None = None,
     ) -> None:
         self.leader_id = leader_id
         self.directory = directory
         self.config = config if config is not None else LeaderConfig()
         self._rng = rng if rng is not None else SystemRandom()
         self._clock = clock if clock is not None else RealClock()
+        self._telemetry = resolve_bus(telemetry)
 
         self._sessions: dict[str, LeaderSession] = {}
         self._outboxes: dict[str, deque[AdminPayload]] = {}
@@ -154,6 +166,29 @@ class GroupLeader:
 
     def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         """Process one envelope; returns (outgoing, events)."""
+        out, events = self._dispatch(envelope)
+        if self._telemetry:
+            self._publish(envelope, events)
+        return out, events
+
+    def _publish(self, envelope: Envelope, events: list[Event]) -> None:
+        """Map protocol events for one handled frame onto the bus."""
+        bus = self._telemetry
+        for event in events:
+            if isinstance(event, Rejected):
+                bus.emit(rejection_event(
+                    self.leader_id, event.reason, event.label, envelope
+                ))
+            elif isinstance(event, Joined):
+                bus.emit(AuthAccepted(self.leader_id, event.user_id))
+            elif isinstance(event, Left):
+                bus.emit(MemberDeparted(self.leader_id, event.user_id))
+            elif isinstance(event, Denied):
+                bus.emit(JoinDenied(
+                    self.leader_id, event.user_id, event.reason
+                ))
+
+    def _dispatch(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         if envelope.recipient != self.leader_id:
             self.stats.rejected += 1
             return [], [Rejected("not addressed to leader", envelope.label)]
@@ -247,6 +282,10 @@ class GroupLeader:
         self._last_rekey = self._clock.now()
         self._last_rotation_was_eviction = eviction
         self.stats.rekeys += 1
+        if self._telemetry:
+            self._telemetry.emit(
+                RekeyIssued(self.leader_id, self._group_epoch, eviction)
+            )
 
     def _current_key_payload(self) -> NewGroupKeyPayload:
         assert self._group_key is not None
@@ -280,6 +319,8 @@ class GroupLeader:
             raise StateError(f"{user_id!r} is not a member")
         session.close_locally()
         self._outboxes[user_id].clear()
+        if self._telemetry:
+            self._telemetry.emit(MemberExpelled(self.leader_id, user_id))
         out = self._on_member_left(user_id)
         out.extend(self._pump())
         return out

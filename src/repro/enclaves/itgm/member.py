@@ -50,6 +50,15 @@ from repro.enclaves.itgm.admin import (
     decode_payload,
 )
 from repro.exceptions import CodecError, IntegrityError, StateError
+from repro.telemetry.events import (
+    AdminAccepted,
+    EventBus,
+    JoinCompleted,
+    JoinStarted,
+    RekeyInstalled,
+    rejection_event,
+    resolve_bus,
+)
 from repro.util.bytesops import constant_time_eq
 from repro.wire.codec import decode_fields, encode_fields, encode_str
 from repro.wire.labels import Label
@@ -99,14 +108,19 @@ class MemberProtocol:
         leader_id: str,
         rng: RandomSource | None = None,
         rekey_grace: bool = True,
+        telemetry: EventBus | None = None,
     ) -> None:
         """``rekey_grace``: during a group-key rotation, frames sealed
         under the immediately-previous key may still be in flight;
         with grace enabled the member accepts them (one epoch back,
         never further).  Disable for strict current-epoch-only
         semantics — the `bench_rekey` ablation measures the loss-rate
-        difference."""
+        difference.
+
+        ``telemetry``: event bus for protocol observability; defaults
+        to the process-wide bus, which is a no-op until subscribed."""
         self.credentials = credentials
+        self._telemetry = resolve_bus(telemetry)
         self.user_id = credentials.user_id
         self.leader_id = leader_id
         self._rng = rng if rng is not None else SystemRandom()
@@ -164,6 +178,8 @@ class MemberProtocol:
             Label.AUTH_INIT_REQ, self.user_id, self.leader_id, body
         )
         self._last_outbound = envelope
+        if self._telemetry:
+            self._telemetry.emit(JoinStarted(self.user_id, self.leader_id))
         return envelope
 
     def retransmit_last(self) -> Envelope | None:
@@ -209,6 +225,12 @@ class MemberProtocol:
 
     def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         """Process one incoming envelope; never raises on attacker input."""
+        out, events = self._dispatch(envelope)
+        if self._telemetry:
+            self._publish(envelope, events)
+        return out, events
+
+    def _dispatch(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         if envelope.recipient != self.user_id:
             return [], [self._reject("not addressed to us", envelope.label)]
         if envelope.label is Label.AUTH_KEY_DIST:
@@ -218,6 +240,27 @@ class MemberProtocol:
         if envelope.label is Label.APP_DATA:
             return self._on_app_data(envelope)
         return [], [self._reject("unexpected label", envelope.label)]
+
+    def _publish(self, envelope: Envelope, events: list[Event]) -> None:
+        """Map protocol events for one handled frame onto the bus."""
+        bus = self._telemetry
+        for event in events:
+            if isinstance(event, Rejected):
+                bus.emit(rejection_event(
+                    self.user_id, event.reason, event.label, envelope
+                ))
+            elif isinstance(event, Joined):
+                bus.emit(JoinCompleted(self.user_id, self.leader_id))
+            elif isinstance(event, GroupKeyChanged):
+                bus.emit(RekeyInstalled(
+                    self.user_id, self.leader_id,
+                    self._group_epoch, event.fingerprint,
+                ))
+            elif isinstance(event, AdminDelivered):
+                bus.emit(AdminAccepted(
+                    self.user_id, self.leader_id,
+                    type(event.payload).__name__,
+                ))
 
     # -- message 2: AuthKeyDist ---------------------------------------------
 

@@ -123,6 +123,7 @@ def restore_leader(
     config: LeaderConfig | None = None,
     rng: RandomSource | None = None,
     clock: Clock | None = None,
+    telemetry=None,
 ) -> GroupLeader:
     """Rebuild a :class:`GroupLeader` from :func:`snapshot_leader` output.
 
@@ -137,7 +138,8 @@ def restore_leader(
     from collections import deque
 
     leader = GroupLeader(
-        snapshot["leader_id"], directory, config=config, rng=rng, clock=clock
+        snapshot["leader_id"], directory, config=config, rng=rng, clock=clock,
+        telemetry=telemetry,
     )
     key_material = _unhex(snapshot["group_key"])
     if key_material is not None:

@@ -61,6 +61,17 @@ from repro.enclaves.itgm.persistence import (
 from repro.enclaves.itgm.runtime import LeaderRuntime
 from repro.exceptions import ProtocolError, RecoveryFailed, StateError
 from repro.net.transport import Endpoint
+from repro.telemetry.events import (
+    EventBus,
+    LeaderCrashed,
+    LeaderFailover,
+    LeaderRestored,
+    RecoveryGaveUp,
+    RejoinCompleted,
+    WatchdogFired,
+    resolve_bus,
+)
+from repro.telemetry.spans import SpanTracer
 from repro.util.clock import Clock
 from repro.wire.message import Envelope
 
@@ -159,6 +170,7 @@ class ResilientMemberClient:
         address: str | None = None,
         config: SupervisorConfig | None = None,
         rng: RandomSource | None = None,
+        telemetry: EventBus | None = None,
     ) -> None:
         if not manager_order:
             raise ValueError("manager_order must not be empty")
@@ -178,6 +190,8 @@ class ResilientMemberClient:
             else None
         )
 
+        self._telemetry = resolve_bus(telemetry)
+        self._tracer: SpanTracer | None = None
         self._endpoint = None          # real MemoryEndpoint
         self._shared: _SharedEndpoint | None = None
         self._clients: dict[str, MemberClient] = {}
@@ -223,6 +237,11 @@ class ResilientMemberClient:
         self._endpoint = await self._network.attach(self.address)
         self._shared = _SharedEndpoint(self._endpoint)
         self._last_alive = self._now()
+        if self._tracer is None:
+            self._tracer = SpanTracer(
+                time_source=asyncio.get_running_loop().time,
+                bus=self._telemetry,
+            )
         self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
@@ -263,10 +282,18 @@ class ResilientMemberClient:
                     self.events.put_nowait(
                         LeaderSuspected(self.active, silence)
                     )
+                    if self._telemetry:
+                        self._telemetry.emit(WatchdogFired(
+                            self.user_id, self.active, silence
+                        ))
                     await self._reconnect()
         except RecoveryFailed:
             self.gave_up = True
             self.events.put_nowait(RecoveryExhausted(self.attempts))
+            if self._telemetry:
+                self._telemetry.emit(
+                    RecoveryGaveUp(self.user_id, self.attempts)
+                )
 
     def _drain_active(self) -> None:
         """Forward the active client's events; authenticated ones feed
@@ -309,14 +336,25 @@ class ResilientMemberClient:
             for manager_id in rotation:
                 self.attempts += 1
                 if await self._attempt(manager_id):
-                    downtime = self._now() - down_since
+                    now = self._now()
+                    downtime = now - down_since
                     self.rejoins += 1
                     self.rejoin_latencies.append(downtime)
                     self.active = manager_id
-                    self._last_alive = self._now()
+                    self._last_alive = now
                     self.events.put_nowait(
                         RejoinedGroup(manager_id, attempts_here + 1, downtime)
                     )
+                    if self._tracer is not None:
+                        self._tracer.record_span(
+                            "rejoin", self.user_id, down_since, now,
+                            leader=manager_id,
+                        )
+                    if self._telemetry:
+                        self._telemetry.emit(RejoinCompleted(
+                            self.user_id, manager_id,
+                            attempts_here + 1, downtime,
+                        ))
                     return
                 await asyncio.sleep(self._backoff(attempts_here))
                 attempts_here += 1
@@ -339,6 +377,7 @@ class ResilientMemberClient:
                 manager_id,
                 self._shared,
                 rng=fork,
+                telemetry=self._telemetry,
             )
             self._clients[manager_id] = client
         return client
@@ -445,6 +484,7 @@ class LeaderOrchestrator:
         tick_interval: float | None = 0.25,
         heartbeat_interval: float | None = 0.5,
         storage_key: KeyMaterial | None = None,
+        telemetry: EventBus | None = None,
     ) -> None:
         if not manager_ids:
             raise ValueError("need at least one manager")
@@ -456,6 +496,7 @@ class LeaderOrchestrator:
         self._tick_interval = tick_interval
         self._heartbeat_interval = heartbeat_interval
         self._storage_key = storage_key
+        self._telemetry = resolve_bus(telemetry)
         rng = rng if rng is not None else SystemRandom()
         self.leaders: dict[str, GroupLeader] = {}
         for manager_id in self.order:
@@ -467,6 +508,7 @@ class LeaderOrchestrator:
             self.leaders[manager_id] = GroupLeader(
                 manager_id, directory,
                 config=config, rng=fork, clock=clock,
+                telemetry=self._telemetry,
             )
         self.failed: set[str] = set()
         self.current_index = 0
@@ -536,6 +578,8 @@ class LeaderOrchestrator:
         await self.runtime.stop()
         self.runtime = None
         self.crashes += 1
+        if self._telemetry:
+            self._telemetry.emit(LeaderCrashed(self.current_id, flush))
 
     async def restore_warm(self) -> None:
         """Restart the crashed manager from its crash-time snapshot."""
@@ -552,9 +596,12 @@ class LeaderOrchestrator:
         self.leaders[self.current_id] = restore_leader(
             snapshot, self.directory,
             config=old.config, rng=old._rng, clock=self._clock,
+            telemetry=self._telemetry,
         )
         await self._launch(self.current_id)
         self.warm_restores += 1
+        if self._telemetry:
+            self._telemetry.emit(LeaderRestored(self.current_id))
 
     async def failover(self) -> str:
         """Promote the next live standby; the dead primary stays dead.
@@ -565,7 +612,8 @@ class LeaderOrchestrator:
         """
         if self.runtime is not None:
             await self.crash(flush=False)
-        self.failed.add(self.current_id)
+        dead = self.current_id
+        self.failed.add(dead)
         for offset in range(1, len(self.order) + 1):
             candidate = self.order[
                 (self.current_index + offset) % len(self.order)
@@ -574,5 +622,7 @@ class LeaderOrchestrator:
                 self.current_index = self.order.index(candidate)
                 await self._launch(candidate)
                 self.failovers += 1
+                if self._telemetry:
+                    self._telemetry.emit(LeaderFailover(dead, candidate))
                 return candidate
         raise StateError("all group managers have failed")

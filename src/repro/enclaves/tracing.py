@@ -20,6 +20,7 @@ from repro.crypto.aead import AuthenticatedCipher, SealedBox
 from repro.crypto.keys import KeyMaterial
 from repro.enclaves.itgm.member import seal_ad
 from repro.exceptions import CodecError, IntegrityError
+from repro.telemetry.events import frame_id
 from repro.wire.codec import decode_fields
 from repro.wire.labels import Label
 from repro.wire.message import Envelope
@@ -76,13 +77,24 @@ def _field_preview(field: bytes, max_len: int = 12) -> str:
 
 
 def format_frame(
-    index: int, envelope: Envelope, keyring: KeyRing | None = None
+    index: int, envelope: Envelope, keyring: KeyRing | None = None,
+    show_ids: bool = False,
 ) -> str:
-    """One transcript line for one frame."""
+    """One transcript line for one frame.
+
+    With ``show_ids`` the line carries the frame's
+    :func:`~repro.telemetry.events.frame_id`, so a transcript line and
+    a telemetry event (a ``ReplayRejected``, a ``FrameDropped``) that
+    name the same frame can be matched directly.
+    """
     head = (
         f"{index:>4}  {envelope.sender:>10} -> {envelope.recipient:<10} "
         f"{envelope.label.name:<18}"
     )
+    if show_ids:
+        head = f"{index:>4}  [{frame_id(envelope)}] " \
+               f"{envelope.sender:>10} -> {envelope.recipient:<10} " \
+               f"{envelope.label.name:<18}"
     if not envelope.body:
         return head + "(empty)"
     if keyring is not None:
@@ -95,12 +107,40 @@ def format_frame(
 
 def format_transcript(
     frames: list[Envelope], keyring: KeyRing | None = None,
-    title: str = "wire transcript",
+    title: str = "wire transcript", show_ids: bool = False,
 ) -> str:
     """Render a full wire log."""
     lines = [title, "=" * len(title)]
     for index, envelope in enumerate(frames, 1):
-        lines.append(format_frame(index, envelope, keyring))
+        lines.append(format_frame(index, envelope, keyring, show_ids))
     if not frames:
         lines.append("(no frames)")
     return "\n".join(lines)
+
+
+def transcript_records(
+    frames: list[Envelope], keyring: KeyRing | None = None
+) -> list[dict]:
+    """The wire log as JSON-ready dicts keyed by frame id.
+
+    Each record carries the same ``frame`` identifier the telemetry
+    events use, so an exported event log and an exported transcript can
+    be joined on it.  Decrypted fields are included when the keyring
+    opens the frame; otherwise the record is marked ``sealed``.
+    """
+    records = []
+    for index, envelope in enumerate(frames, 1):
+        record: dict = {
+            "index": index,
+            "frame": frame_id(envelope),
+            "label": envelope.label.name,
+            "sender": envelope.sender,
+            "recipient": envelope.recipient,
+        }
+        fields = keyring.try_open(envelope) if keyring is not None else None
+        if fields is not None:
+            record["fields"] = [_field_preview(f) for f in fields]
+        else:
+            record["sealed"] = len(envelope.body)
+        records.append(record)
+    return records

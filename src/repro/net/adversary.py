@@ -22,6 +22,12 @@ import enum
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.telemetry.events import (
+    EventBus,
+    FrameInjected,
+    frame_id,
+    resolve_bus,
+)
 from repro.wire.message import Envelope
 
 
@@ -89,11 +95,12 @@ class Adversary:
     directly.  The complete wire history is kept in :attr:`log`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: EventBus | None = None) -> None:
         self.log: list[ObservedFrame] = []
         self._policy: Policy | None = None
         self._network = None  # set by MemoryNetwork.attach_adversary
         self._one_shot_drops: list[Callable[[ObservedFrame], bool]] = []
+        self._telemetry = resolve_bus(telemetry)
 
     # -- wiring ----------------------------------------------------------
 
@@ -128,6 +135,11 @@ class Adversary:
         """Send a forged envelope to its recipient, bypassing any policy."""
         if self._network is None:
             raise RuntimeError("adversary is not attached to a network")
+        if self._telemetry:
+            self._telemetry.emit(FrameInjected(
+                envelope.sender, envelope.recipient,
+                envelope.label.name, frame_id(envelope),
+            ))
         await self._network.deliver_raw(envelope)
 
     async def replay(self, frame: ObservedFrame) -> None:

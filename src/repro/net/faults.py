@@ -32,6 +32,12 @@ from dataclasses import dataclass, field
 
 from repro.crypto.rng import DeterministicRandom
 from repro.net.adversary import ObservedFrame, Policy, Verdict
+from repro.telemetry.events import (
+    EventBus,
+    FaultWindowClosed,
+    FaultWindowOpened,
+)
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class PartitionPolicy:
@@ -45,7 +51,12 @@ class PartitionPolicy:
     partition only the subset of the world it cares about.
     """
 
-    def __init__(self, components: Iterable[Iterable[str]]) -> None:
+    def __init__(
+        self,
+        components: Iterable[Iterable[str]],
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._metrics = metrics
         self.components: list[frozenset[str]] = [
             frozenset(c) for c in components
         ]
@@ -74,6 +85,10 @@ class PartitionPolicy:
         if a == b:
             return Verdict.deliver()
         self.severed += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "fault_frames_total", policy="partition", fate="severed"
+            ).incr()
         return Verdict.drop()
 
 
@@ -92,6 +107,7 @@ class DelayReorderPolicy:
         max_hold: float = 0.5,
         delay_rate: float = 1.0,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if min_hold < 0 or max_hold < min_hold:
             raise ValueError("need 0 <= min_hold <= max_hold")
@@ -101,6 +117,7 @@ class DelayReorderPolicy:
         self.max_hold = max_hold
         self.delay_rate = delay_rate
         self._rng = DeterministicRandom(seed).fork("delay-reorder")
+        self._metrics = metrics
         #: Frames held back.
         self.delayed = 0
 
@@ -115,6 +132,10 @@ class DelayReorderPolicy:
             self.max_hold - self.min_hold
         )
         self.delayed += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "fault_frames_total", policy="delay-reorder", fate="delayed"
+            ).incr()
         return Verdict.delay(hold)
 
 
@@ -135,7 +156,9 @@ class GilbertElliottPolicy:
         loss_good: float = 0.01,
         loss_bad: float = 0.7,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
+        self._metrics = metrics
         for name, p in (
             ("p_good_to_bad", p_good_to_bad),
             ("p_bad_to_good", p_bad_to_good),
@@ -169,6 +192,10 @@ class GilbertElliottPolicy:
         loss = self.loss_bad if self.in_bad else self.loss_good
         if self._uniform() < loss:
             self.dropped += 1
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "fault_frames_total", policy="bursty", fate="dropped"
+                ).incr()
             return Verdict.drop()
         return Verdict.deliver()
 
@@ -350,21 +377,43 @@ class FaultPlan:
         """Windows covering instant ``now``."""
         return [w for w in self.windows if w.start <= now < w.end]
 
-    def as_policy(self, time_source: Callable[[], float]) -> Policy:
+    def as_policy(
+        self,
+        time_source: Callable[[], float],
+        telemetry: EventBus | None = None,
+    ) -> Policy:
         """Single adversary policy evaluating the window schedule.
 
         At each frame, every window active at ``time_source()`` gets a
         look, composed in insertion order (first non-DELIVER wins).
+
+        With ``telemetry``, window transitions are announced as
+        :class:`FaultWindowOpened` / :class:`FaultWindowClosed` events.
+        The policy is only evaluated when a frame is observed, so the
+        announcements are *lazy*: a window opening is reported at the
+        first frame inside it, a closing at the first frame past it.
         """
+        open_windows: set[int] = set()
 
         def policy(frame: ObservedFrame) -> Verdict:
             now = time_source()
-            for w in self.windows:
-                if w.start <= now < w.end:
-                    verdict = w.policy(frame)
-                    if verdict.action is not verdict.action.DELIVER:
-                        return verdict
-            return Verdict.deliver()
+            verdict: Verdict | None = None
+            for i, w in enumerate(self.windows):
+                active = w.start <= now < w.end
+                if telemetry:
+                    if active and i not in open_windows:
+                        open_windows.add(i)
+                        telemetry.emit(
+                            FaultWindowOpened(w.name, w.start, w.end)
+                        )
+                    elif not active and i in open_windows and now >= w.end:
+                        open_windows.discard(i)
+                        telemetry.emit(FaultWindowClosed(w.name, w.end))
+                if active and verdict is None:
+                    candidate = w.policy(frame)
+                    if candidate.action is not candidate.action.DELIVER:
+                        verdict = candidate
+            return verdict if verdict is not None else Verdict.deliver()
 
         return policy
 

@@ -15,6 +15,15 @@ import asyncio
 from repro.exceptions import AddressInUse, ConnectionClosed
 from repro.net.adversary import Adversary, FrameAction, ObservedFrame
 from repro.net.transport import Endpoint, Transport
+from repro.telemetry.events import (
+    EventBus,
+    FrameDelayed,
+    FrameDropped,
+    FrameDuplicated,
+    FrameReplaced,
+    frame_id,
+    resolve_bus,
+)
 from repro.wire.message import Envelope
 
 _CLOSED = object()
@@ -75,10 +84,11 @@ class MemoryEndpoint(Endpoint):
 class MemoryNetwork(Transport):
     """An insecure, asynchronous, in-process network."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: EventBus | None = None) -> None:
         self._endpoints: dict[str, MemoryEndpoint] = {}
         self._adversary: Adversary | None = None
         self._sequence = 0
+        self._telemetry = resolve_bus(telemetry)
         #: Total frames routed (observed traffic counter for benchmarks).
         self.frames_routed = 0
 
@@ -108,6 +118,8 @@ class MemoryNetwork(Transport):
             origin=origin, envelope=envelope, sequence=self._sequence
         )
         verdict = self._adversary.observe(frame)
+        if self._telemetry and verdict.action is not FrameAction.DELIVER:
+            self._publish_fate(origin, envelope, verdict)
         if verdict.action is FrameAction.DELIVER:
             self._deliver(envelope)
         elif verdict.action is FrameAction.DROP:
@@ -126,6 +138,25 @@ class MemoryNetwork(Transport):
             asyncio.get_running_loop().call_later(
                 verdict.hold, self._deliver, envelope
             )
+
+    def _publish_fate(self, origin: str, envelope: Envelope, verdict) -> None:
+        """Emit the telemetry event matching a non-DELIVER verdict."""
+        label = envelope.label.name
+        fid = frame_id(envelope)
+        recipient = envelope.recipient
+        if verdict.action is FrameAction.DROP:
+            event = FrameDropped(origin, recipient, label, fid)
+        elif verdict.action is FrameAction.DUPLICATE:
+            event = FrameDuplicated(origin, recipient, label, fid)
+        elif verdict.action is FrameAction.REPLACE:
+            event = FrameReplaced(
+                origin, recipient, label, fid, len(verdict.substitutes)
+            )
+        elif verdict.action is FrameAction.DELAY:
+            event = FrameDelayed(origin, recipient, label, fid, verdict.hold)
+        else:  # pragma: no cover - exhaustive over non-DELIVER actions
+            return
+        self._telemetry.emit(event)
 
     async def deliver_raw(self, envelope: Envelope) -> None:
         """Adversary-injected delivery: no observation, no policy."""

@@ -1,82 +1,54 @@
-"""Metric collection for simulations and benchmarks."""
+"""Metric collection for simulations and benchmarks.
+
+The statistic engines now live in :mod:`repro.telemetry.metrics`; this
+module keeps the original simulation-facing names as thin aliases so
+existing imports (``MetricSet``, ``LatencyRecorder``) keep working.
+:class:`LatencyRecorder` *is* :class:`~repro.telemetry.metrics.Histogram`
+— same fields, same interpolated percentiles — and :class:`MetricSet`
+is a label-free view over a :class:`~repro.telemetry.metrics.MetricsRegistry`.
+"""
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+#: The percentile engine, promoted to the telemetry layer unchanged.
+LatencyRecorder = Histogram
 
 
-@dataclass
-class LatencyRecorder:
-    """Collects latency samples and reports percentiles."""
-
-    samples: list[float] = field(default_factory=list)
-
-    def record(self, value: float) -> None:
-        self.samples.append(value)
-
-    def __len__(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else math.nan
-
-    def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile (p in [0, 100])."""
-        if not self.samples:
-            return math.nan
-        data = sorted(self.samples)
-        if len(data) == 1:
-            return data[0]
-        rank = (p / 100.0) * (len(data) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return data[low]
-        weight = rank - low
-        return data[low] * (1 - weight) + data[high] * weight
-
-    @property
-    def p50(self) -> float:
-        return self.percentile(50)
-
-    @property
-    def p99(self) -> float:
-        return self.percentile(99)
-
-    @property
-    def maximum(self) -> float:
-        return max(self.samples) if self.samples else math.nan
-
-
-@dataclass
 class MetricSet:
-    """Named counters plus named latency recorders."""
+    """Named counters plus named latency recorders (registry-backed).
 
-    counters: dict[str, int] = field(default_factory=dict)
-    latencies: dict[str, LatencyRecorder] = field(default_factory=dict)
+    Pass a shared :class:`MetricsRegistry` to co-locate simulation
+    metrics with telemetry-derived series; by default each set owns a
+    private registry, matching the old isolated behaviour.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return self.registry.counters()
+
+    @property
+    def latencies(self) -> dict[str, Histogram]:
+        return self.registry.histograms()
 
     def incr(self, name: str, by: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + by
+        self.registry.counter(name).incr(by)
 
-    def latency(self, name: str) -> LatencyRecorder:
-        if name not in self.latencies:
-            self.latencies[name] = LatencyRecorder()
-        return self.latencies[name]
+    def latency(self, name: str) -> Histogram:
+        return self.registry.histogram(name)
 
     def snapshot(self) -> dict:
         """A plain-dict view for reports and assertions."""
         return {
-            "counters": dict(self.counters),
+            "counters": self.registry.counters(),
             "latencies": {
-                name: {
-                    "count": len(rec),
-                    "mean": rec.mean,
-                    "p50": rec.p50,
-                    "p99": rec.p99,
-                    "max": rec.maximum,
-                }
-                for name, rec in self.latencies.items()
+                name: hist.summary()
+                for name, hist in self.registry.histograms().items()
             },
         }

@@ -19,6 +19,7 @@ from repro.enclaves.itgm.member import MemberProtocol, MemberState
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricSet
 from repro.sim.workload import ChurnWorkload, MessageWorkload, WorkloadKind
+from repro.telemetry.events import EventBus
 
 
 @dataclass
@@ -57,12 +58,21 @@ class ChurnReport:
         )
 
 
-def run_churn(scenario: ChurnScenario) -> ChurnReport:
-    """Run one churn scenario to completion."""
+def run_churn(
+    scenario: ChurnScenario, telemetry: EventBus | None = None
+) -> ChurnReport:
+    """Run one churn scenario to completion.
+
+    With ``telemetry``, the bus clock is swapped to the simulation
+    clock and every protocol core emits onto it — a churn run then
+    yields a deterministic, virtual-time event log.
+    """
     rng = DeterministicRandom(scenario.seed)
     sim = Simulator()
-    net = SyncNetwork()
+    net = SyncNetwork(telemetry=telemetry)
     metrics = MetricSet()
+    if telemetry is not None:
+        telemetry.set_clock(sim.clock)
 
     directory = UserDirectory()
     leader = GroupLeader(
@@ -74,6 +84,7 @@ def run_churn(scenario: ChurnScenario) -> ChurnReport:
         ),
         rng=rng.fork("leader"),
         clock=sim.clock,
+        telemetry=telemetry,
     )
     wire(net, "leader", leader)
 
@@ -81,7 +92,9 @@ def run_churn(scenario: ChurnScenario) -> ChurnReport:
     members: dict[str, MemberProtocol] = {}
     for user_id in user_ids:
         creds = directory.register_password(user_id, f"pw-{user_id}")
-        member = MemberProtocol(creds, "leader", rng.fork(user_id))
+        member = MemberProtocol(
+            creds, "leader", rng.fork(user_id), telemetry=telemetry
+        )
         members[user_id] = member
         wire(net, user_id, member)
 

@@ -1,0 +1,466 @@
+"""The protocol event bus: typed, timestamped, zero-dependency.
+
+Every instrumented component (protocol cores, the network, the
+supervisor) holds an :class:`EventBus` and emits typed events through
+it.  The design constraints, in order:
+
+1. **Free when off.**  Components guard every emission with
+   ``if self._telemetry:`` — a bus with no subscribers is falsy, so the
+   disabled hot path costs one attribute load and one boolean test.
+   The overhead benchmark (``benchmarks/test_bench_telemetry.py``)
+   holds this to ≤2% on the handshake and rekey paths.
+2. **Deterministic.**  Timestamps come from an injected
+   :class:`~repro.util.clock.Clock` (never a bare ``time.monotonic()``
+   call), so a virtual-time chaos run produces byte-identical event
+   logs per seed.  A monotonically increasing sequence number breaks
+   ties and makes the total order explicit.
+3. **Correlatable.**  Wire frames are identified by
+   :func:`frame_id` — a truncated SHA-256 of the encoded envelope —
+   shared between telemetry events, the JSONL log, and the transcript
+   formatter (:mod:`repro.enclaves.tracing`), so a ``ReplayRejected``
+   event names exactly the frame an analyst can find in the transcript.
+
+Components default to the module-level :data:`DEFAULT_BUS` when no bus
+is injected.  This is deliberate: scenario builders deep inside the
+attack library construct protocol stacks with no plumbing for a bus, so
+``python -m repro trace --scenario attack-matrix`` simply subscribes to
+the default bus and observes everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+from repro.util.clock import Clock, RealClock
+from repro.wire.message import Envelope
+
+
+def frame_id(envelope: Envelope) -> str:
+    """Deterministic 12-hex-digit identifier for one wire frame.
+
+    Two byte-identical frames (a retransmission, a replay) share an id —
+    which is exactly what an analyst wants: the ``ReplayRejected`` event
+    carries the id of the original frame it is a copy of.
+    """
+    return hashlib.sha256(envelope.to_bytes()).hexdigest()[:12]
+
+
+# -- event taxonomy ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """Base class for all telemetry events (no fields of its own)."""
+
+
+#: name -> event class, for schema validation of exported logs.
+EVENT_TYPES: dict[str, type] = {}
+
+
+def register_event(cls):
+    """Class decorator: make an event type known to the exporters."""
+    EVENT_TYPES[cls.__name__] = cls
+    return cls
+
+
+# protocol lifecycle ---------------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JoinStarted(TelemetryEvent):
+    """A member sent AuthInitReq (message 1)."""
+
+    node: str
+    leader: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JoinCompleted(TelemetryEvent):
+    """The member accepted AuthKeyDist and is Connected."""
+
+    node: str
+    leader: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class AuthAccepted(TelemetryEvent):
+    """The leader accepted a member's AuthAckKey (membership begins)."""
+
+    node: str
+    member: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JoinDenied(TelemetryEvent):
+    """The leader silently denied a join (unknown user / policy)."""
+
+    node: str
+    member: str
+    reason: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class MemberDeparted(TelemetryEvent):
+    """The leader processed a member's ReqClose."""
+
+    node: str
+    member: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class MemberExpelled(TelemetryEvent):
+    """The leader unilaterally closed a member's session."""
+
+    node: str
+    member: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RekeyIssued(TelemetryEvent):
+    """The leader rotated the group key to ``epoch``."""
+
+    node: str
+    epoch: int
+    eviction: bool
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RekeyInstalled(TelemetryEvent):
+    """A member accepted and installed the group key for ``epoch``."""
+
+    node: str
+    leader: str
+    epoch: int
+    fingerprint: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class AdminAccepted(TelemetryEvent):
+    """A member accepted one admin payload on the nonce-chained channel."""
+
+    node: str
+    leader: str
+    kind: str
+
+
+# rejections ----------------------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ReplayRejected(TelemetryEvent):
+    """A frame was discarded by the freshness shield (stale nonce)."""
+
+    node: str
+    label: str
+    reason: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class IntegrityRejected(TelemetryEvent):
+    """A frame failed authentication / decoding / identity binding."""
+
+    node: str
+    label: str
+    reason: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameRejected(TelemetryEvent):
+    """A frame was discarded for state reasons (wrong state, label...)."""
+
+    node: str
+    label: str
+    reason: str
+    frame: str
+
+
+# network fates -------------------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameDropped(TelemetryEvent):
+    """The adversary/fault layer dropped a frame."""
+
+    origin: str
+    recipient: str
+    label: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameDuplicated(TelemetryEvent):
+    origin: str
+    recipient: str
+    label: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameDelayed(TelemetryEvent):
+    origin: str
+    recipient: str
+    label: str
+    frame: str
+    hold: float
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameReplaced(TelemetryEvent):
+    """A frame was substituted on the wire (active adversary)."""
+
+    origin: str
+    recipient: str
+    label: str
+    frame: str
+    substitutes: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameInjected(TelemetryEvent):
+    """An adversary-forged frame entered the network."""
+
+    sender: str
+    recipient: str
+    label: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FaultWindowOpened(TelemetryEvent):
+    """A scheduled fault window became active."""
+
+    name: str
+    start: float
+    end: float
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FaultWindowClosed(TelemetryEvent):
+    name: str
+    end: float
+
+
+# supervision / failover ----------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class WatchdogFired(TelemetryEvent):
+    """A member's liveness watchdog suspected its leader."""
+
+    node: str
+    leader: str
+    silence: float
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RejoinCompleted(TelemetryEvent):
+    """A supervised member recovered into a group."""
+
+    node: str
+    leader: str
+    attempts: int
+    downtime: float
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RecoveryGaveUp(TelemetryEvent):
+    """Every rejoin avenue failed; the supervisor stopped trying."""
+
+    node: str
+    attempts: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class LeaderCrashed(TelemetryEvent):
+    """The orchestrator killed the running manager."""
+
+    node: str
+    warm: bool
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class LeaderRestored(TelemetryEvent):
+    """A crashed manager came back from its crash-time snapshot."""
+
+    node: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class LeaderFailover(TelemetryEvent):
+    """A standby manager was promoted; the primary stays dead."""
+
+    node: str
+    to: str
+
+
+# -- rejection classification ------------------------------------------------
+
+_REPLAY_MARKERS = ("replay", "stale nonce")
+_INTEGRITY_MARKERS = (
+    "authentication", "identity mismatch", "malformed", "undecodable",
+    "group-key check",
+)
+
+
+def classify_rejection(reason: str) -> str:
+    """Map a protocol rejection reason to its telemetry family.
+
+    ``replay``    — the freshness shield (§3.2's chained nonces) fired;
+    ``integrity`` — a seal, codec, or identity binding failed;
+    ``state``     — legal-looking frame in the wrong state / bad label.
+    """
+    lowered = reason.lower()
+    if any(marker in lowered for marker in _REPLAY_MARKERS):
+        return "replay"
+    if any(marker in lowered for marker in _INTEGRITY_MARKERS):
+        return "integrity"
+    return "state"
+
+
+def rejection_event(
+    node: str, reason: str, label, envelope: Envelope
+) -> TelemetryEvent:
+    """Build the right rejection event for one discarded frame."""
+    label_name = getattr(label, "name", str(label))
+    fid = frame_id(envelope)
+    kind = classify_rejection(reason)
+    if kind == "replay":
+        return ReplayRejected(node, label_name, reason, fid)
+    if kind == "integrity":
+        return IntegrityRejected(node, label_name, reason, fid)
+    return FrameRejected(node, label_name, reason, fid)
+
+
+# -- the bus -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryRecord:
+    """One emitted event with its bus-assigned timestamp and sequence."""
+
+    ts: float
+    seq: int
+    event: TelemetryEvent
+
+    def as_dict(self) -> dict:
+        """Flatten to a JSON-ready dict (``event`` holds the type name)."""
+        payload: dict = {"ts": self.ts, "seq": self.seq,
+                         "event": type(self.event).__name__}
+        for f in fields(self.event):
+            payload[f.name] = getattr(self.event, f.name)
+        return payload
+
+
+Subscriber = Callable[[TelemetryRecord], None]
+
+
+class EventBus:
+    """Synchronous fan-out of telemetry events to subscribers.
+
+    Falsy when nobody is listening — emit sites use that as their
+    fast-path guard.  Timestamps come from the injected clock; swap in
+    a :class:`~repro.chaos.loop.LoopClock` (virtual time) or a
+    :class:`~repro.util.clock.TickClock` (logical time) for
+    deterministic logs.
+    """
+
+    __slots__ = ("_subscribers", "_clock", "_seq")
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._subscribers: list[Subscriber] = []
+        self._clock: Clock = clock if clock is not None else RealClock()
+        self._seq = 0
+
+    def __bool__(self) -> bool:
+        return bool(self._subscribers)
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    def set_clock(self, clock: Clock) -> None:
+        """Swap the timestamp source (virtual-time runs do this)."""
+        self._clock = clock
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last stamped record."""
+        return self._seq
+
+    def reset_seq(self, seq: int = 0) -> None:
+        """Restart the sequence counter (new logical stream).
+
+        ``repro trace`` resets the shared default bus around each run so
+        a repeated same-seed invocation in one process exports the same
+        bytes a fresh process would.
+        """
+        self._seq = seq
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Stamp and fan out one event (no-op without subscribers)."""
+        if not self._subscribers:
+            return
+        self._seq += 1
+        record = TelemetryRecord(self._clock.now(), self._seq, event)
+        for subscriber in list(self._subscribers):
+            subscriber(record)
+
+    @contextmanager
+    def capture(self):
+        """Collect records emitted inside the ``with`` block."""
+        records: list[TelemetryRecord] = []
+        self.subscribe(records.append)
+        try:
+            yield records
+        finally:
+            self.unsubscribe(records.append)
+
+
+#: The bus components fall back to when none is injected.  No-op until
+#: something subscribes — `python -m repro trace` does exactly that.
+DEFAULT_BUS = EventBus()
+
+
+def resolve_bus(bus: EventBus | None) -> EventBus:
+    """The injected bus, or the process-wide default."""
+    return bus if bus is not None else DEFAULT_BUS

@@ -1,0 +1,216 @@
+"""Exporters: JSONL event log, Prometheus-style dump, live summary.
+
+Three consumers of the same event stream:
+
+* :class:`JsonlExporter` — one JSON object per line, keys sorted, so a
+  seeded virtual-time run exports **byte-identical** logs across
+  processes (the acceptance check for ``repro chaos --telemetry``).
+* :func:`render_prometheus` — text-format dump of a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+  histogram count/sum/quantiles).
+* :class:`LiveSummary` — a subscriber that tallies events by type and
+  node and renders the compact table ``repro trace`` prints.
+
+:func:`validate_jsonl` re-reads an exported log and checks every line
+against the registered event schemas — the "schema-valid" half of the
+acceptance criterion, and a regression net for the event taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import fields
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    EventBus,
+    TelemetryRecord,
+)
+from repro.telemetry.metrics import MetricsRegistry, render_series
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def record_to_dict(record: TelemetryRecord) -> dict:
+    """Flatten one record to a JSON-ready dict (tuples become lists)."""
+    payload = record.as_dict()
+    for key, value in payload.items():
+        if isinstance(value, tuple):
+            payload[key] = list(value)
+        elif not isinstance(value, _JSON_SCALARS):
+            payload[key] = str(value)
+    return payload
+
+
+class JsonlExporter:
+    """Write each record as one sorted-key JSON line.
+
+    ``sink`` is a path or a file-like with ``write``.  Subscribe it to
+    a bus (``bus.subscribe(exporter)``); call :meth:`close` when done
+    (closing a path-opened file, leaving a caller-owned sink open).
+    """
+
+    def __init__(self, sink) -> None:
+        if hasattr(sink, "write"):
+            self._file = sink
+            self._owns_file = False
+        else:
+            self._file = open(sink, "w")
+            self._owns_file = True
+        self.lines_written = 0
+
+    def __call__(self, record: TelemetryRecord) -> None:
+        self._file.write(
+            json.dumps(record_to_dict(record), sort_keys=True) + "\n"
+        )
+        self.lines_written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+def validate_jsonl(lines) -> list[dict]:
+    """Parse and schema-check an exported event log.
+
+    ``lines`` is an iterable of JSON strings (or a path).  Every line
+    must carry ``ts`` (number), ``seq`` (positive int), ``event`` (a
+    registered type name), and exactly the fields that event type
+    declares.  Returns the parsed records; raises ``ValueError`` with
+    the line number on the first violation.
+    """
+    if isinstance(lines, (str, bytes)):
+        with open(lines) as f:
+            lines = f.readlines()
+    records = []
+    last_seq = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON ({exc})") from None
+        for required, kinds in (("ts", (int, float)), ("seq", (int,)),
+                                ("event", (str,))):
+            if not isinstance(payload.get(required), kinds):
+                raise ValueError(
+                    f"line {lineno}: missing/invalid {required!r}"
+                )
+        if payload["seq"] <= last_seq:
+            raise ValueError(
+                f"line {lineno}: sequence not increasing "
+                f"({payload['seq']} after {last_seq})"
+            )
+        last_seq = payload["seq"]
+        event_cls = EVENT_TYPES.get(payload["event"])
+        if event_cls is None:
+            raise ValueError(
+                f"line {lineno}: unknown event type {payload['event']!r}"
+            )
+        declared = {f.name for f in fields(event_cls)}
+        present = set(payload) - {"ts", "seq", "event"}
+        if present != declared:
+            raise ValueError(
+                f"line {lineno}: {payload['event']} fields {sorted(present)}"
+                f" != declared {sorted(declared)}"
+            )
+        records.append(payload)
+    return records
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text-format dump of every series in the registry."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for kind, name, key, instrument in sorted(
+        registry.iter_series(), key=lambda item: (item[1], item[2])
+    ):
+        if kind == "histogram":
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} summary")
+                seen_types.add(name)
+            series = render_series(name, key)
+            lines.append(f"{series}_count {len(instrument)}")
+            lines.append(f"{series}_sum {sum(instrument.samples)}")
+            for q, value in (("0.5", instrument.p50),
+                             ("0.99", instrument.p99)):
+                labeled = dict(key)
+                labeled["quantile"] = q
+                inner = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labeled.items())
+                )
+                lines.append(f"{name}{{{inner}}} {value}")
+        else:
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types.add(name)
+            lines.append(
+                f"{render_series(name, key)} {instrument.value}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class LiveSummary:
+    """Tally events by type (and by node where present)."""
+
+    def __init__(self) -> None:
+        self.by_event: TallyCounter = TallyCounter()
+        self.by_node: TallyCounter = TallyCounter()
+        self.total = 0
+        self.first_ts: float | None = None
+        self.last_ts: float | None = None
+
+    def __call__(self, record: TelemetryRecord) -> None:
+        self.total += 1
+        self.by_event[type(record.event).__name__] += 1
+        node = getattr(record.event, "node", None)
+        if node:
+            self.by_node[node] += 1
+        if self.first_ts is None:
+            self.first_ts = record.ts
+        self.last_ts = record.ts
+
+    def render(self) -> str:
+        if not self.total:
+            return "telemetry: no events"
+        span = ""
+        if self.first_ts is not None and self.last_ts is not None:
+            span = f" over t=[{self.first_ts:.2f}, {self.last_ts:.2f}]"
+        lines = [f"telemetry: {self.total} events{span}"]
+        for name, count in sorted(
+            self.by_event.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {name:<20} {count:>6}")
+        if self.by_node:
+            busiest = sorted(
+                self.by_node.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:8]
+            rendered = ", ".join(f"{n}={c}" for n, c in busiest)
+            lines.append(f"  busiest nodes: {rendered}")
+        return "\n".join(lines)
+
+
+def events_to_registry(registry: MetricsRegistry):
+    """A subscriber that mirrors the event stream into labeled counters
+    (``telemetry_events_total{event=...,node=...}``) — the bridge that
+    makes ``render_prometheus`` useful on a pure event run."""
+
+    def subscriber(record: TelemetryRecord) -> None:
+        node = getattr(record.event, "node", "") or ""
+        registry.counter(
+            "telemetry_events_total",
+            event=type(record.event).__name__, node=node,
+        ).incr()
+
+    return subscriber
+
+
+def attach_jsonl(bus: EventBus, sink) -> JsonlExporter:
+    """Convenience: build a :class:`JsonlExporter` and subscribe it."""
+    exporter = JsonlExporter(sink)
+    bus.subscribe(exporter)
+    return exporter

@@ -1,0 +1,138 @@
+"""Health probe: fold the live event stream into the §5.4 invariants.
+
+The chaos soak asserts the paper's safety properties by sampling
+protocol state; this probe checks the *event stream* itself, which
+gives two things the state sampler cannot:
+
+* violations are reported **with the event trail that led to them**
+  (the last N records before the offending event, frame ids included),
+  so a failed invariant is a story, not a boolean;
+* rekey propagation is measured as it happens — the probe opens a span
+  per (leader, epoch) at ``RekeyIssued`` and records one
+  ``rekey_propagation`` sample per member at ``RekeyInstalled``.
+
+Invariants checked live (per §5.4's per-session reading):
+
+1. **Epoch monotonicity** — within one member session (bounded by
+   ``JoinCompleted`` events), accepted group-key epochs from a given
+   leader are strictly increasing.  A replayed or reordered key
+   distribution that re-installed an old epoch trips this.
+2. **Epoch/fingerprint agreement** — all members that install
+   ``(leader, epoch)`` install the *same* key fingerprint; two
+   different fingerprints for one epoch would mean the leader (or the
+   wire) equivocated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.telemetry.events import (
+    EventBus,
+    JoinCompleted,
+    RekeyInstalled,
+    RekeyIssued,
+    TelemetryRecord,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanTracer
+
+
+class HealthProbe:
+    """A bus subscriber that checks invariants as events arrive."""
+
+    def __init__(
+        self,
+        trail: int = 24,
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ) -> None:
+        self.violations: list[str] = []
+        self._trail: deque[TelemetryRecord] = deque(maxlen=trail)
+        self._registry = registry
+        self._tracer = tracer
+        #: (member, leader) -> session generation (bumped per rejoin).
+        self._generation: dict[tuple[str, str], int] = {}
+        #: (member, leader, generation) -> last accepted epoch.
+        self._last_epoch: dict[tuple[str, str, int], int] = {}
+        #: (leader, epoch) -> fingerprint first seen for it.
+        self._fingerprints: dict[tuple[str, int], str] = {}
+        #: (leader, epoch) -> ts of the RekeyIssued event.
+        self._issued_at: dict[tuple[str, int], float] = {}
+        self.checked = 0
+
+    def subscribe_to(self, bus: EventBus) -> "HealthProbe":
+        bus.subscribe(self)
+        return self
+
+    # -- the subscriber ------------------------------------------------------
+
+    def __call__(self, record: TelemetryRecord) -> None:
+        event = record.event
+        if isinstance(event, JoinCompleted):
+            key = (event.node, event.leader)
+            self._generation[key] = self._generation.get(key, 0) + 1
+        elif isinstance(event, RekeyIssued):
+            self._issued_at[(event.node, event.epoch)] = record.ts
+        elif isinstance(event, RekeyInstalled):
+            self._check_install(record, event)
+        self._trail.append(record)
+
+    def _check_install(
+        self, record: TelemetryRecord, event: RekeyInstalled
+    ) -> None:
+        self.checked += 1
+        member, leader = event.node, event.leader
+        generation = self._generation.get((member, leader), 0)
+        key = (member, leader, generation)
+        last = self._last_epoch.get(key)
+        if last is not None and event.epoch <= last:
+            kind = "duplicate" if event.epoch == last else "stale"
+            self._report(
+                f"{member}<-{leader}: {kind} group-key epoch "
+                f"{event.epoch} accepted after {last} "
+                f"(session generation {generation})"
+            )
+        self._last_epoch[key] = event.epoch
+
+        seen = self._fingerprints.setdefault(
+            (leader, event.epoch), event.fingerprint
+        )
+        if seen != event.fingerprint:
+            self._report(
+                f"{leader} epoch {event.epoch}: fingerprint disagreement "
+                f"({event.fingerprint[:8]} vs {seen[:8]})"
+            )
+
+        issued = self._issued_at.get((leader, event.epoch))
+        if issued is not None and record.ts >= issued:
+            if self._registry is not None:
+                self._registry.histogram(
+                    "rekey_propagation", leader=leader
+                ).record(record.ts - issued)
+            if self._tracer is not None:
+                self._tracer.record_span(
+                    "rekey", member, issued, record.ts,
+                    leader=leader, epoch=event.epoch,
+                )
+
+    def _report(self, message: str) -> None:
+        trail = " | ".join(self._describe(r) for r in self._trail)
+        self.violations.append(
+            f"{message}\n    trail: {trail}" if trail else message
+        )
+
+    @staticmethod
+    def _describe(record: TelemetryRecord) -> str:
+        event = record.event
+        name = type(event).__name__
+        bits = [f"t={record.ts:.2f}"]
+        for attr in ("node", "frame", "epoch"):
+            value = getattr(event, attr, None)
+            if value is not None and value != "":
+                bits.append(f"{attr}={value}")
+        return f"{name}({', '.join(bits)})"
+
+    @property
+    def healthy(self) -> bool:
+        return not self.violations

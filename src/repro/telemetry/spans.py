@@ -1,0 +1,121 @@
+"""Span tracing: bracket multi-step protocol operations in time.
+
+A span covers one handshake, one rejoin, one rekey-propagation leg —
+anything with a start and an end.  The tracer's clock is injected
+(:class:`~repro.util.clock.Clock` or any ``() -> float`` callable such
+as an asyncio loop's ``time``), so virtual-time chaos runs and
+wall-clock runs both produce correct durations.  Finished spans are
+kept on the tracer and, when a bus is attached, also emitted as
+:class:`SpanFinished` events so they land in the same JSONL stream as
+the protocol events they bracket.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.telemetry.events import EventBus, TelemetryEvent, register_event
+from repro.util.clock import CallableClock, Clock, RealClock
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class SpanFinished(TelemetryEvent):
+    """A span closed; ``start``/``duration`` are tracer-clock seconds."""
+
+    name: str
+    node: str
+    start: float
+    duration: float
+    ok: bool
+
+
+@dataclass
+class Span:
+    """One open (or finished) span."""
+
+    name: str
+    node: str
+    start: float
+    end: float | None = None
+    ok: bool = True
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+
+class SpanTracer:
+    """Starts, finishes, and records spans against an injected clock."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        time_source=None,
+        bus: EventBus | None = None,
+    ) -> None:
+        if clock is not None and time_source is not None:
+            raise ValueError("pass clock or time_source, not both")
+        if time_source is not None:
+            clock = CallableClock(time_source)
+        self._clock: Clock = clock if clock is not None else RealClock()
+        self._bus = bus
+        self.finished: list[Span] = []
+
+    def start(self, name: str, node: str = "", **attrs) -> Span:
+        return Span(name=name, node=node, start=self._clock.now(),
+                    attrs=dict(attrs))
+
+    def finish(self, span: Span, ok: bool = True, **attrs) -> Span:
+        if span.finished:
+            raise ValueError(f"span {span.name!r} already finished")
+        span.end = self._clock.now()
+        span.ok = ok
+        span.attrs.update(attrs)
+        self._record(span)
+        return span
+
+    def record_span(
+        self, name: str, node: str, start: float, end: float,
+        ok: bool = True, **attrs,
+    ) -> Span:
+        """Record a span whose endpoints were observed externally
+        (e.g. derived from two already-timestamped bus events)."""
+        if end < start:
+            raise ValueError("span cannot end before it starts")
+        span = Span(name=name, node=node, start=start, end=end, ok=ok,
+                    attrs=dict(attrs))
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        self.finished.append(span)
+        if self._bus:
+            self._bus.emit(SpanFinished(
+                name=span.name, node=span.node, start=span.start,
+                duration=span.duration, ok=span.ok,
+            ))
+
+    @contextmanager
+    def span(self, name: str, node: str = "", **attrs):
+        """``with tracer.span("handshake", node=uid): ...`` — the span
+        closes when the block exits, ``ok=False`` on an exception."""
+        open_span = self.start(name, node, **attrs)
+        try:
+            yield open_span
+        except BaseException:
+            self.finish(open_span, ok=False)
+            raise
+        self.finish(open_span, ok=True)
+
+    def durations(self, name: str) -> list[float]:
+        """Durations of every finished span with ``name``."""
+        return [s.duration for s in self.finished if s.name == name]

@@ -19,12 +19,24 @@ class Clock(ABC):
     def now(self) -> float:
         """Return the current time in seconds."""
 
+    def now_ns(self) -> int:
+        """The current time in integer nanoseconds.
+
+        Virtual clocks derive this from :meth:`now`, so virtual-time
+        timestamps stay exact and deterministic; :class:`RealClock`
+        overrides it with the raw monotonic counter.
+        """
+        return int(self.now() * 1_000_000_000)
+
 
 class RealClock(Clock):
     """Wall-clock backed by :func:`time.monotonic`."""
 
     def now(self) -> float:
         return time.monotonic()
+
+    def now_ns(self) -> int:
+        return time.monotonic_ns()
 
 
 class VirtualClock(Clock):
@@ -47,3 +59,35 @@ class VirtualClock(Clock):
         if value < self._now:
             raise ValueError("cannot move a VirtualClock backwards")
         self._now = float(value)
+
+
+class TickClock(Clock):
+    """A logical clock that advances a fixed step on every reading.
+
+    Useful for timestamping event streams from synchronous harnesses
+    (which have no time axis of their own): every reading is distinct,
+    strictly increasing, and deterministic — so two runs of the same
+    scripted scenario produce byte-identical timestamps.
+    """
+
+    def __init__(self, step: float = 1.0, start: float = 0.0) -> None:
+        if step <= 0:
+            raise ValueError("step must be > 0")
+        self._step = float(step)
+        self._now = float(start)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self._step
+        return value
+
+
+class CallableClock(Clock):
+    """Adapt any ``() -> float`` time source (e.g. an asyncio loop's
+    ``time`` method) to the :class:`Clock` interface."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def now(self) -> float:
+        return self._fn()

@@ -4,8 +4,14 @@ from repro.enclaves.common import UserDirectory
 from repro.enclaves.harness import SyncNetwork, wire
 from repro.enclaves.itgm.leader import GroupLeader
 from repro.enclaves.itgm.member import MemberProtocol
-from repro.enclaves.tracing import KeyRing, format_frame, format_transcript
+from repro.enclaves.tracing import (
+    KeyRing,
+    format_frame,
+    format_transcript,
+    transcript_records,
+)
 from repro.crypto.rng import DeterministicRandom
+from repro.telemetry.events import frame_id
 from repro.wire.labels import Label
 from repro.wire.message import Envelope
 
@@ -58,6 +64,38 @@ class TestFormatFrame:
         line = format_frame(1, app, ring)
         assert "visible to analysts" in line
 
+    def test_relayed_app_data_still_decrypts(self):
+        # APP_DATA binds (label, origin) only; the leader relays it
+        # with the recipient rewritten but the origin kept as sender,
+        # so the relayed copy must open under the same keyring as the
+        # original upload despite the changed recipient.
+        net, leader, member, creds = build_session()
+        original = member.seal_app(b"fan-out payload")
+        relayed = Envelope(
+            Label.APP_DATA, "alice", "bob", original.body
+        )
+        ring = KeyRing([member._group_key])
+        line = format_frame(1, relayed, ring)
+        assert "fan-out payload" in line
+
+    def test_undecryptable_app_data_falls_back_to_sealed(self):
+        net, leader, member, creds = build_session()
+        net.post(member.seal_app(b"secret"))
+        net.run()
+        app = [e for e in net.wire_log if e.label is Label.APP_DATA][0]
+        # Session key cannot open a group-key frame: stays opaque, no
+        # exception.
+        ring = KeyRing([member._session_key])
+        line = format_frame(1, app, ring)
+        assert "<sealed" in line
+        assert "secret" not in line
+
+    def test_show_ids_prefixes_frame_id(self):
+        net, _, _, _ = build_session()
+        envelope = net.wire_log[0]
+        line = format_frame(1, envelope, show_ids=True)
+        assert f"[{frame_id(envelope)}]" in line
+
 
 class TestFormatTranscript:
     def test_full_session_transcript(self):
@@ -81,3 +119,41 @@ class TestFormatTranscript:
         ]
         text = format_transcript(frames, KeyRing([]))
         assert "ADMIN_MSG" in text
+
+    def test_show_ids_on_every_line(self):
+        net, _, _, _ = build_session()
+        text = format_transcript(net.wire_log, show_ids=True)
+        for envelope in net.wire_log:
+            assert f"[{frame_id(envelope)}]" in text
+
+
+class TestTranscriptRecords:
+    def test_records_mirror_the_wire_log(self):
+        net, _, member, creds = build_session()
+        records = transcript_records(net.wire_log)
+        assert len(records) == len(net.wire_log)
+        assert [r["index"] for r in records] == \
+               list(range(1, len(records) + 1))
+        first = records[0]
+        assert first["label"] == net.wire_log[0].label.name
+        assert first["sender"] == net.wire_log[0].sender
+
+    def test_records_share_frame_ids_with_telemetry(self):
+        """The join point between exported transcripts and exported
+        event logs: the same frame carries the same id in both."""
+        net, _, member, creds = build_session()
+        records = transcript_records(net.wire_log)
+        assert [r["frame"] for r in records] == \
+               [frame_id(e) for e in net.wire_log]
+
+    def test_records_decrypt_with_keyring_else_sealed(self):
+        net, _, member, creds = build_session()
+        ring = KeyRing([creds.long_term_key])
+        records = transcript_records(net.wire_log, ring)
+        opened = [r for r in records if "fields" in r]
+        sealed = [r for r in records if "sealed" in r]
+        assert opened, "long-term key opens the auth frames"
+        assert sealed, "session-key frames stay sealed"
+        for record in sealed:
+            assert record["sealed"] > 0
+            assert "fields" not in record

@@ -1,0 +1,178 @@
+"""Tests for the JSONL, Prometheus, and summary exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.events import (
+    EventBus,
+    FrameDropped,
+    JoinCompleted,
+    JoinStarted,
+    RekeyInstalled,
+)
+from repro.telemetry.export import (
+    JsonlExporter,
+    LiveSummary,
+    attach_jsonl,
+    events_to_registry,
+    record_to_dict,
+    render_prometheus,
+    validate_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.clock import TickClock
+
+
+def bus_with(*events):
+    bus = EventBus(clock=TickClock())
+    sink = io.StringIO()
+    exporter = attach_jsonl(bus, sink)
+    for event in events:
+        bus.emit(event)
+    exporter.close()
+    return sink.getvalue()
+
+
+class TestJsonlExporter:
+    def test_one_sorted_line_per_event(self):
+        text = bus_with(JoinStarted("alice", "mgr-0"),
+                        JoinCompleted("alice", "mgr-0"))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "JoinStarted"
+        assert list(first) == sorted(first)
+
+    def test_caller_owned_sink_left_open(self):
+        sink = io.StringIO()
+        exporter = JsonlExporter(sink)
+        exporter.close()
+        assert not sink.closed
+
+    def test_path_sink_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(clock=TickClock())
+        exporter = attach_jsonl(bus, str(path))
+        bus.emit(JoinStarted("alice", "mgr-0"))
+        exporter.close()
+        assert exporter.lines_written == 1
+        assert validate_jsonl(str(path))[0]["node"] == "alice"
+
+    def test_deterministic_bytes(self):
+        events = [JoinStarted("alice", "mgr-0"),
+                  RekeyInstalled("alice", "mgr-0", 2, "cafe")]
+        assert bus_with(*events) == bus_with(*events)
+
+
+class TestValidateJsonl:
+    def test_accepts_exported_stream(self):
+        text = bus_with(JoinStarted("alice", "mgr-0"),
+                        FrameDropped("alice", "mgr-0", "ADMIN_MSG", "ab12"))
+        records = validate_jsonl(text.splitlines())
+        assert [r["event"] for r in records] == [
+            "JoinStarted", "FrameDropped",
+        ]
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ValueError, match="line 1: not JSON"):
+            validate_jsonl(["{nope"])
+
+    def test_rejects_unknown_event(self):
+        line = json.dumps({"ts": 0.0, "seq": 1, "event": "NoSuchEvent"})
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_jsonl([line])
+
+    def test_rejects_missing_field(self):
+        line = json.dumps(
+            {"ts": 0.0, "seq": 1, "event": "JoinStarted", "node": "a"}
+        )
+        with pytest.raises(ValueError, match="JoinStarted fields"):
+            validate_jsonl([line])
+
+    def test_rejects_extra_field(self):
+        line = json.dumps({"ts": 0.0, "seq": 1, "event": "JoinStarted",
+                           "node": "a", "leader": "b", "bogus": 1})
+        with pytest.raises(ValueError, match="JoinStarted fields"):
+            validate_jsonl([line])
+
+    def test_rejects_non_increasing_seq(self):
+        record = {"ts": 0.0, "seq": 1, "event": "JoinStarted",
+                  "node": "a", "leader": "b"}
+        lines = [json.dumps(record), json.dumps(record)]
+        with pytest.raises(ValueError, match="sequence not increasing"):
+            validate_jsonl(lines)
+
+    def test_skips_blank_lines(self):
+        text = bus_with(JoinStarted("alice", "mgr-0"))
+        assert len(validate_jsonl(["", text.strip(), ""])) == 1
+
+
+class TestRenderPrometheus:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("joins_total", node="u1").incr(3)
+        reg.gauge("members").set(4)
+        text = render_prometheus(reg)
+        assert "# TYPE joins_total counter" in text
+        assert 'joins_total{node="u1"} 3' in text
+        assert "members 4" in text
+
+    def test_histogram_summary_series(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency", node="u1")
+        hist.record(1.0)
+        hist.record(3.0)
+        text = render_prometheus(reg)
+        assert "# TYPE latency summary" in text
+        assert 'latency{node="u1"}_count 2' in text
+        assert 'latency{node="u1"}_sum 4.0' in text
+        assert 'latency{node="u1",quantile="0.5"} 2.0' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestLiveSummary:
+    def test_tallies_by_event_and_node(self):
+        bus = EventBus(clock=TickClock())
+        summary = LiveSummary()
+        bus.subscribe(summary)
+        bus.emit(JoinStarted("alice", "mgr-0"))
+        bus.emit(JoinStarted("bob", "mgr-0"))
+        bus.emit(JoinCompleted("alice", "mgr-0"))
+        assert summary.total == 3
+        assert summary.by_event["JoinStarted"] == 2
+        assert summary.by_node["alice"] == 2
+        text = summary.render()
+        assert "3 events" in text
+        assert "JoinStarted" in text
+        assert "alice=2" in text
+
+    def test_render_empty(self):
+        assert LiveSummary().render() == "telemetry: no events"
+
+
+class TestEventsToRegistry:
+    def test_mirrors_events_into_labeled_counters(self):
+        bus = EventBus(clock=TickClock())
+        reg = MetricsRegistry()
+        bus.subscribe(events_to_registry(reg))
+        bus.emit(JoinStarted("alice", "mgr-0"))
+        bus.emit(JoinStarted("alice", "mgr-0"))
+        counters = reg.counters()
+        key = 'telemetry_events_total{event="JoinStarted",node="alice"}'
+        assert counters[key] == 2
+
+
+class TestRecordToDict:
+    def test_non_scalar_values_coerced(self):
+        bus = EventBus(clock=TickClock())
+        with bus.capture() as records:
+            bus.emit(JoinStarted("alice", "mgr-0"))
+        payload = record_to_dict(records[0])
+        assert all(
+            isinstance(v, (str, int, float, bool, type(None), list))
+            for v in payload.values()
+        )

@@ -1,0 +1,106 @@
+"""Tests for the live invariant probe."""
+
+from repro.telemetry.events import (
+    EventBus,
+    JoinCompleted,
+    RekeyInstalled,
+    RekeyIssued,
+)
+from repro.telemetry.health import HealthProbe
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanTracer
+from repro.util.clock import TickClock
+
+
+def probe_on_bus(**kwargs):
+    bus = EventBus(clock=TickClock())
+    probe = HealthProbe(**kwargs).subscribe_to(bus)
+    return bus, probe
+
+
+class TestEpochMonotonicity:
+    def test_increasing_epochs_are_healthy(self):
+        bus, probe = probe_on_bus()
+        for epoch in (1, 2, 3):
+            bus.emit(RekeyInstalled("alice", "mgr-0", epoch, f"fp{epoch}"))
+        assert probe.healthy
+        assert probe.checked == 3
+
+    def test_duplicate_epoch_flagged(self):
+        bus, probe = probe_on_bus()
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp2"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp2"))
+        assert not probe.healthy
+        assert "duplicate group-key epoch 2" in probe.violations[0]
+
+    def test_stale_epoch_flagged(self):
+        bus, probe = probe_on_bus()
+        bus.emit(RekeyInstalled("alice", "mgr-0", 3, "fp3"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 1, "fp1"))
+        assert not probe.healthy
+        assert "stale group-key epoch 1" in probe.violations[0]
+
+    def test_rejoin_resets_the_session(self):
+        # After a rejoin the member legitimately re-installs the current
+        # epoch; a JoinCompleted bumps the session generation so that is
+        # not a false positive.
+        bus, probe = probe_on_bus()
+        bus.emit(JoinCompleted("alice", "mgr-0"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 4, "fp4"))
+        bus.emit(JoinCompleted("alice", "mgr-0"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 4, "fp4"))
+        assert probe.healthy
+
+    def test_members_tracked_independently(self):
+        bus, probe = probe_on_bus()
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp2"))
+        bus.emit(RekeyInstalled("bob", "mgr-0", 2, "fp2"))
+        assert probe.healthy
+
+
+class TestFingerprintAgreement:
+    def test_agreement_is_healthy(self):
+        bus, probe = probe_on_bus()
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp2"))
+        bus.emit(RekeyInstalled("bob", "mgr-0", 2, "fp2"))
+        assert probe.healthy
+
+    def test_disagreement_flagged(self):
+        bus, probe = probe_on_bus()
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "aaaaaaaa1"))
+        bus.emit(RekeyInstalled("bob", "mgr-0", 2, "bbbbbbbb2"))
+        assert not probe.healthy
+        assert "fingerprint disagreement" in probe.violations[0]
+
+    def test_violation_carries_event_trail(self):
+        bus, probe = probe_on_bus()
+        bus.emit(JoinCompleted("alice", "mgr-0"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp2"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp2"))
+        violation = probe.violations[0]
+        assert "trail:" in violation
+        assert "JoinCompleted" in violation
+        assert "RekeyInstalled" in violation
+
+
+class TestRekeyPropagation:
+    def test_histogram_and_span_per_install(self):
+        reg = MetricsRegistry()
+        tracer = SpanTracer(clock=TickClock())
+        bus, probe = probe_on_bus(registry=reg, tracer=tracer)
+        bus.emit(RekeyIssued("mgr-0", 2, eviction=False))   # ts=0
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp"))  # ts=1
+        bus.emit(RekeyInstalled("bob", "mgr-0", 2, "fp"))    # ts=2
+        hist = reg.histogram("rekey_propagation", leader="mgr-0")
+        assert hist.samples == [1.0, 2.0]
+        assert tracer.durations("rekey") == [1.0, 2.0]
+        (a, b) = tracer.finished
+        assert a.node == "alice" and b.node == "bob"
+        assert a.attrs == {"leader": "mgr-0", "epoch": 2}
+
+    def test_install_without_issue_records_nothing(self):
+        reg = MetricsRegistry()
+        bus, probe = probe_on_bus(registry=reg)
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "fp"))
+        assert reg.histograms() == {}
+        assert probe.healthy

@@ -1,0 +1,89 @@
+"""Tests for span tracing."""
+
+import pytest
+
+from repro.telemetry.events import EventBus
+from repro.telemetry.spans import SpanFinished, SpanTracer
+from repro.util.clock import TickClock
+
+
+class TestSpanTracer:
+    def test_start_finish_measures_clock(self):
+        tracer = SpanTracer(clock=TickClock())
+        span = tracer.start("handshake", node="alice")
+        tracer.finish(span)
+        assert span.start == 0.0
+        assert span.duration == 1.0
+        assert span.ok
+
+    def test_double_finish_raises(self):
+        tracer = SpanTracer(clock=TickClock())
+        span = tracer.start("handshake")
+        tracer.finish(span)
+        with pytest.raises(ValueError):
+            tracer.finish(span)
+
+    def test_open_span_has_no_duration(self):
+        tracer = SpanTracer(clock=TickClock())
+        span = tracer.start("handshake")
+        assert not span.finished
+        with pytest.raises(ValueError):
+            span.duration
+
+    def test_context_manager_marks_failure(self):
+        tracer = SpanTracer(clock=TickClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("handshake", node="alice"):
+                raise RuntimeError("timeout")
+        (span,) = tracer.finished
+        assert not span.ok
+        assert span.duration == 1.0
+
+    def test_context_manager_success(self):
+        tracer = SpanTracer(clock=TickClock())
+        with tracer.span("rejoin", node="bob", attempt=2):
+            pass
+        (span,) = tracer.finished
+        assert span.ok
+        assert span.attrs == {"attempt": 2}
+
+    def test_record_span_from_external_timestamps(self):
+        tracer = SpanTracer(clock=TickClock())
+        span = tracer.record_span("rekey", "u1", 10.0, 12.5, leader="mgr-0")
+        assert span.duration == 2.5
+        assert span.attrs["leader"] == "mgr-0"
+
+    def test_record_span_rejects_negative_duration(self):
+        tracer = SpanTracer(clock=TickClock())
+        with pytest.raises(ValueError):
+            tracer.record_span("rekey", "u1", 5.0, 4.0)
+
+    def test_time_source_callable(self):
+        times = iter([1.0, 4.0])
+        tracer = SpanTracer(time_source=lambda: next(times))
+        span = tracer.finish(tracer.start("op"))
+        assert span.duration == 3.0
+
+    def test_clock_and_time_source_are_exclusive(self):
+        with pytest.raises(ValueError):
+            SpanTracer(clock=TickClock(), time_source=lambda: 0.0)
+
+    def test_durations_filters_by_name(self):
+        tracer = SpanTracer(clock=TickClock())
+        tracer.finish(tracer.start("a"))
+        tracer.finish(tracer.start("b"))
+        tracer.finish(tracer.start("a"))
+        assert tracer.durations("a") == [1.0, 1.0]
+
+    def test_finished_spans_emit_on_bus(self):
+        bus = EventBus(clock=TickClock(start=50.0))
+        tracer = SpanTracer(clock=TickClock(), bus=bus)
+        with bus.capture() as records:
+            tracer.finish(tracer.start("handshake", node="alice"))
+        (record,) = records
+        event = record.event
+        assert isinstance(event, SpanFinished)
+        assert event.name == "handshake"
+        assert event.node == "alice"
+        assert event.duration == 1.0
+        assert event.ok

@@ -98,6 +98,56 @@ class TestReportCommand:
         assert "join -> group key" in text
 
 
+class TestTraceCommand:
+    def test_trace_demo_summarizes_events(self, capsys):
+        code = main(["trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry:" in out
+        assert "JoinCompleted" in out
+
+    def test_trace_attack_matrix_lists_blocked_frames(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "events.jsonl"
+        code = main(["trace", "--scenario", "attack-matrix",
+                     "--out", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "blocked frames:" in out
+        assert "ReplayRejected" in out
+        assert "IntegrityRejected" in out
+        assert "schema-valid" in out
+        from repro.telemetry import validate_jsonl
+
+        records = validate_jsonl(str(target))
+        assert any(r["event"] == "ReplayRejected" for r in records)
+
+    def test_trace_out_is_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["trace", "--seed", "3", "--out", str(a)]) == 0
+        assert main(["trace", "--seed", "3", "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_trace_prometheus_dump(self, capsys):
+        code = main(["trace", "--prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE telemetry_events_total counter" in out
+
+    def test_churn_telemetry_export(self, tmp_path, capsys):
+        target = tmp_path / "churn.jsonl"
+        code = main(["churn", "--users", "4", "--duration", "30",
+                     "--telemetry", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry:" in out
+        from repro.telemetry import validate_jsonl
+
+        assert validate_jsonl(str(target))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
