@@ -45,6 +45,7 @@ from repro.net.adversary import Adversary
 from repro.net.faults import FaultPlan, LeaderEventKind
 from repro.net.memnet import MemoryNetwork
 from repro.sim.metrics import MetricSet
+from repro.storage.simdisk import SimDisk
 from repro.telemetry.events import EventBus
 from repro.telemetry.health import HealthProbe
 
@@ -82,6 +83,10 @@ class SoakConfig:
     tick_interval: float = 0.25
     monitor_interval: float = 0.5
     converge_timeout: float = 20.0
+    #: Durability: back the leaders with a simulated disk and a
+    #: write-ahead journal, so crash/restore goes through real replay.
+    durability: bool = True
+    journal_fsync_every: int = 1
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
 
 
@@ -128,7 +133,9 @@ class SoakReport:
             lines.append(f"    ! {violation}")
         for name in ("suspicions", "rejoins", "attempts", "crashes",
                      "warm_restores", "failovers", "rekeys",
-                     "frames_routed", "app_rounds"):
+                     "frames_routed", "app_rounds", "journal_appends",
+                     "journal_fsyncs", "journal_compactions",
+                     "journal_replays", "journal_records_replayed"):
             if name in counters:
                 lines.append(f"  {name:<19}: {counters[name]}")
         rec = latencies.get("rejoin")
@@ -298,6 +305,9 @@ async def _soak_itgm(
     plan = build_default_plan(config, member_ids, manager_ids)
     adversary.set_policy(plan.as_policy(loop.time, telemetry=telemetry))
 
+    disk = (
+        SimDisk(rng=rng.fork("disk")) if config.durability else None
+    )
     orchestrator = LeaderOrchestrator(
         net, directory, manager_ids,
         config=LeaderConfig(
@@ -310,6 +320,8 @@ async def _soak_itgm(
         tick_interval=config.tick_interval,
         heartbeat_interval=config.heartbeat_interval,
         telemetry=telemetry,
+        disk=disk,
+        journal_fsync_every=config.journal_fsync_every,
     )
     await orchestrator.start()
 
@@ -439,6 +451,9 @@ async def _soak_itgm(
         sum(leader.stats.rekeys
             for leader in orchestrator.leaders.values()),
     )
+    if config.durability:
+        for name, value in orchestrator.journal_counters().items():
+            metrics.incr(name, value)
 
     if probe is not None:
         violations.extend(probe.violations)

@@ -235,6 +235,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_durability(args: argparse.Namespace) -> int:
+    from repro.storage.sweep import ALL_MODES, SweepConfig, run_crash_sweep
+
+    modes = (
+        tuple(args.modes.split(",")) if args.modes else ALL_MODES
+    )
+    report = run_crash_sweep(SweepConfig(
+        seed=args.seed, modes=modes, stride=args.stride,
+        fsync_every=args.fsync_every,
+    ))
+    print(report.format_table())
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a scenario with the telemetry layer attached and report it.
 
@@ -458,6 +472,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export the telemetry event stream as JSONL "
                             "(ignored with --matrix)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    durability = sub.add_parser(
+        "durability",
+        help="run the crash-point sweep over the leader journal",
+    )
+    durability.add_argument("--seed", type=int, default=7)
+    durability.add_argument("--stride", type=int, default=1,
+                            help="sweep every Nth write index "
+                                 "(1 = exhaustive)")
+    durability.add_argument("--modes", metavar="M1,M2",
+                            help="comma-separated subset of "
+                                 "failstop,torn,lost,bitrot")
+    durability.add_argument("--fsync-every", type=int, default=1,
+                            dest="fsync_every",
+                            help="journal records per fsync")
+    durability.set_defaults(func=_cmd_durability)
 
     trace = sub.add_parser(
         "trace", help="run a scenario with live telemetry attached"

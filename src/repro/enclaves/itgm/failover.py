@@ -110,6 +110,36 @@ class ManagerSet:
                 return candidate
         raise StateError("all group managers have failed")
 
+    def rehost_primary(
+        self, state: dict, rng: RandomSource | None = None
+    ) -> GroupLeader:
+        """Install a replayed leader state as the (new) primary.
+
+        The warm half of promotion (:func:`repro.storage.shipping.\
+promote`): ``state`` is a snapshot dict replayed from shipped journal
+        records, carrying the *dead* primary's ``leader_id``.  The
+        standby re-hosts that logical identity — member sessions were
+        established toward ``leader_id``, so keeping it is what lets
+        them continue without re-authenticating.  The re-hosted leader
+        replaces the old entry and becomes primary; the promoting
+        standby's own (empty) leader identity stays available as a
+        future cold spare.
+        """
+        from repro.enclaves.itgm.persistence import restore_leader
+
+        leader_id = state.get("leader_id")
+        if leader_id not in self.managers:
+            raise StateError(f"state names unknown manager {leader_id!r}")
+        old = self.managers[leader_id]
+        leader = restore_leader(
+            state, self.directory,
+            config=old.config, rng=rng if rng is not None else old._rng,
+        )
+        self.managers[leader_id] = leader
+        self.failed.discard(leader_id)
+        self.primary_index = self.order.index(leader_id)
+        return leader
+
     def recover(self, manager_id: str) -> None:
         """Bring a crashed manager back as a cold standby.
 

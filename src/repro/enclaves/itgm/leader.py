@@ -43,7 +43,7 @@ from repro.enclaves.itgm.admin import (
     MembershipPayload,
     NewGroupKeyPayload,
 )
-from repro.enclaves.itgm.leader_session import LeaderSession
+from repro.enclaves.itgm.leader_session import LeaderSession, LeaderState
 from repro.enclaves.itgm.member import app_ad
 from repro.exceptions import CodecError, IntegrityError, StateError
 from repro.telemetry.events import (
@@ -118,7 +118,25 @@ class GroupLeader:
         self._last_rotation_was_eviction = False
         self._group_epoch = -1
         self._last_rekey = self._clock.now()
+        self._journal = None
         self.stats = LeaderStats()
+
+    # -- durability hook ----------------------------------------------------
+
+    def bind_journal(self, journal) -> None:
+        """Attach a write-ahead journal (``repro.storage.journal``).
+
+        Every mutating entry point calls back into the journal *before*
+        returning its outgoing frames — write-ahead discipline: if the
+        journal (or its disk) fails, the exception propagates and the
+        mutation's outputs are withheld, so no member can ever observe
+        state the journal lost.  Pass ``None`` to detach.
+        """
+        self._journal = journal
+
+    def _checkpoint(self) -> None:
+        if self._journal is not None:
+            self._journal.record_mutation(self)
 
     # -- session plumbing ---------------------------------------------------
 
@@ -167,6 +185,7 @@ class GroupLeader:
     def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         """Process one envelope; returns (outgoing, events)."""
         out, events = self._dispatch(envelope)
+        self._checkpoint()
         if self._telemetry:
             self._publish(envelope, events)
         return out, events
@@ -302,7 +321,9 @@ class GroupLeader:
         self._rotate_group_key()
         for member in self.members:
             self._outboxes[member].append(self._current_key_payload())
-        return self._pump()
+        out = self._pump()
+        self._checkpoint()
+        return out
 
     def expel(self, user_id: str) -> list[Envelope]:
         """Expel a member ("a variation of this protocol can be used to
@@ -323,6 +344,31 @@ class GroupLeader:
             self._telemetry.emit(MemberExpelled(self.leader_id, user_id))
         out = self._on_member_left(user_id)
         out.extend(self._pump())
+        self._checkpoint()
+        return out
+
+    def abort_session(self, user_id: str) -> list[Envelope]:
+        """Unilaterally close *any* active per-user session.
+
+        Like :meth:`expel`, but also legal for half-open handshakes
+        (WaitingForKeyAck), which are not yet memberships.  Operators
+        use it after a crash recovery when a member's channel is known
+        to be desynced (the member is ahead of the journal's durable
+        prefix): closing the stale leader-side session lets the member
+        re-authenticate, since a leader never accepts a fresh
+        AuthInitReq while it holds an active session.
+        """
+        session = self._sessions.get(user_id)
+        if session is None or session.state is LeaderState.NOT_CONNECTED:
+            raise StateError(f"{user_id!r} has no active session")
+        was_member = session.is_member
+        session.close_locally()
+        self._outboxes[user_id].clear()
+        if self._telemetry:
+            self._telemetry.emit(MemberExpelled(self.leader_id, user_id))
+        out = self._on_member_left(user_id) if was_member else []
+        out.extend(self._pump())
+        self._checkpoint()
         return out
 
     def tick(self) -> list[Envelope]:
@@ -333,7 +379,9 @@ class GroupLeader:
             and self._clock.now() - self._last_rekey >= self.config.rekey_interval
         ):
             return self.rekey_now()
-        return self._pump() + self.retransmit_stalled()
+        out = self._pump() + self.retransmit_stalled()
+        self._checkpoint()
+        return out
 
     def retransmit_stalled(self) -> list[Envelope]:
         """Re-send the last unacknowledged frame of every waiting session.
@@ -379,7 +427,9 @@ class GroupLeader:
         """Queue an arbitrary admin payload to every current member."""
         for member in self.members:
             self._outboxes[member].append(payload)
-        return self._pump()
+        out = self._pump()
+        self._checkpoint()
+        return out
 
     def send_admin_to(self, user_id: str, payload: AdminPayload) -> list[Envelope]:
         """Queue an admin payload to one member."""
@@ -387,7 +437,9 @@ class GroupLeader:
         if session is None or not session.is_member:
             raise StateError(f"{user_id!r} is not a member")
         self._outboxes[user_id].append(payload)
-        return self._pump()
+        out = self._pump()
+        self._checkpoint()
+        return out
 
     def _pump(self) -> list[Envelope]:
         """Send the next queued payload on every idle admin channel."""

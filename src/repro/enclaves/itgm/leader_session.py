@@ -81,6 +81,12 @@ class LeaderSession:
         self.admin_log: list[AdminPayload] = []
         #: Fingerprints of session keys discarded on close (Oops'd keys).
         self.discarded_keys: list[str] = []
+        #: Monotonic dirty counter, bumped on every durable state change.
+        #: The write-ahead journal uses it to re-serialize only the
+        #: sessions that actually moved since the last record — without
+        #: it, every mutation would re-encode every session's full admin
+        #: history.
+        self.version = 0
         self.stats = LeaderSessionStats()
 
     # -- leader-initiated actions ----------------------------------------------
@@ -105,6 +111,7 @@ class LeaderSession:
         self._nonce = n_l
         self.state = LeaderState.WAITING_FOR_ACK
         self.admin_log.append(payload)
+        self.version += 1
         self.stats.admin_sent += 1
         envelope = Envelope(Label.ADMIN_MSG, self.leader_id, self.user_id, body)
         self._last_outbound = envelope
@@ -186,6 +193,7 @@ class LeaderSession:
             seal_ad(Label.AUTH_KEY_DIST, self.leader_id, self.user_id),
         ).to_bytes()
         self.state = LeaderState.WAITING_FOR_KEY_ACK
+        self.version += 1
         reply = Envelope(Label.AUTH_KEY_DIST, self.leader_id, self.user_id, body)
         self._last_outbound = reply
         self._init_body = envelope.body
@@ -212,6 +220,7 @@ class LeaderSession:
                                      envelope.label)]
         self._nonce = n3
         self.state = LeaderState.CONNECTED
+        self.version += 1
         self.stats.sessions_opened += 1
         return [], [Joined(self.user_id)]
 
@@ -235,6 +244,7 @@ class LeaderSession:
             return [], [self._reject("Ack malformed next nonce", envelope.label)]
         self._nonce = n_next
         self.state = LeaderState.CONNECTED
+        self.version += 1
         self.stats.acks_accepted += 1
         return [], []
 
@@ -276,6 +286,7 @@ class LeaderSession:
             LeaderState.CONNECTED, LeaderState.WAITING_FOR_ACK
         )
         self.state = LeaderState.NOT_CONNECTED
+        self.version += 1
         self.stats.sessions_closed += 1
         return [], [Left(self.user_id)] if was_member else []
 
@@ -297,6 +308,7 @@ class LeaderSession:
         self._last_outbound = None
         self._init_body = None
         self.state = LeaderState.NOT_CONNECTED
+        self.version += 1
         self.stats.sessions_closed += 1
 
     # -- queries -----------------------------------------------------------

@@ -39,6 +39,26 @@ from repro.wire.message import Envelope
 #: Format marker so future layouts can migrate.
 SNAPSHOT_VERSION = 1
 
+#: Every layout this build can decode.  A snapshot from a newer build is
+#: rejected up front (see :func:`validate_snapshot_version`) instead of
+#: failing deep inside field decoding with a confusing KeyError.
+KNOWN_SNAPSHOT_VERSIONS = frozenset({SNAPSHOT_VERSION})
+
+
+def validate_snapshot_version(snapshot: dict) -> None:
+    """Reject snapshots whose layout this build does not understand.
+
+    Raises :class:`ProtocolError` naming the offending version and the
+    versions this build accepts.
+    """
+    version = snapshot.get("version")
+    if version not in KNOWN_SNAPSHOT_VERSIONS:
+        known = sorted(KNOWN_SNAPSHOT_VERSIONS)
+        raise ProtocolError(
+            f"unsupported snapshot version {version!r} "
+            f"(this build understands {known})"
+        )
+
 _STORAGE_AD = b"repro-enclaves-leader-snapshot-v1"
 
 
@@ -131,10 +151,7 @@ def restore_leader(
     from the directory (the registry must be at least as current as the
     snapshot).
     """
-    if snapshot.get("version") != SNAPSHOT_VERSION:
-        raise ProtocolError(
-            f"unsupported snapshot version {snapshot.get('version')!r}"
-        )
+    validate_snapshot_version(snapshot)
     from collections import deque
 
     leader = GroupLeader(
@@ -181,6 +198,21 @@ def seal_snapshot(snapshot: dict, storage_key: KeyMaterial) -> bytes:
     ).to_bytes()
 
 
+def load_snapshot(blob: bytes, storage_key: KeyMaterial) -> dict:
+    """Open a sealed snapshot *and* validate its format version.
+
+    The safe entry point for blobs of unknown provenance (disk, a
+    standby's replica): :func:`open_snapshot` only authenticates, so a
+    sealed snapshot written by a newer build would pass the MAC check
+    and then explode mid-restore.  Raises :class:`IntegrityError` on
+    tampering and :class:`ProtocolError` on malformed content or an
+    unknown ``version``.
+    """
+    snapshot = open_snapshot(blob, storage_key)
+    validate_snapshot_version(snapshot)
+    return snapshot
+
+
 def open_snapshot(blob: bytes, storage_key: KeyMaterial) -> dict:
     """Verify and deserialize a sealed snapshot.
 
@@ -196,3 +228,9 @@ def open_snapshot(blob: bytes, storage_key: KeyMaterial) -> dict:
     if not isinstance(snapshot, dict):
         raise ProtocolError("snapshot must be a JSON object")
     return snapshot
+
+
+#: Public alias: the journal (:mod:`repro.storage.journal`) snapshots
+#: individual sessions to build per-mutation state deltas.
+session_snapshot = _session_snapshot
+restore_session = _restore_session

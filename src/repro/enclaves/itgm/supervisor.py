@@ -40,7 +40,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
-from repro.crypto.keys import KeyMaterial
+from repro.crypto.keys import KEY_LEN, KeyMaterial
 from repro.crypto.rng import DeterministicRandom, RandomSource, SystemRandom
 from repro.enclaves.common import (
     Credentials,
@@ -200,6 +200,9 @@ class ResilientMemberClient:
         self._task: asyncio.Task | None = None
         self._last_alive = 0.0
         self.gave_up = False
+        #: Why the most recent join attempt failed (for the terminal
+        #: RecoveryGaveUp event and operator forensics).
+        self.last_error = ""
 
         #: Supervisor + forwarded protocol events, in order.
         self.events: asyncio.Queue[Event] = asyncio.Queue()
@@ -287,13 +290,15 @@ class ResilientMemberClient:
                             self.user_id, self.active, silence
                         ))
                     await self._reconnect()
-        except RecoveryFailed:
+        except RecoveryFailed as exc:
             self.gave_up = True
+            if not self.last_error:
+                self.last_error = str(exc)
             self.events.put_nowait(RecoveryExhausted(self.attempts))
             if self._telemetry:
-                self._telemetry.emit(
-                    RecoveryGaveUp(self.user_id, self.attempts)
-                )
+                self._telemetry.emit(RecoveryGaveUp(
+                    self.user_id, self.attempts, self.last_error
+                ))
 
     def _drain_active(self) -> None:
         """Forward the active client's events; authenticated ones feed
@@ -409,7 +414,8 @@ class ResilientMemberClient:
                 timeout=cfg.join_timeout,
                 retransmit_interval=cfg.retransmit_interval,
             )
-        except ProtocolError:
+        except ProtocolError as exc:
+            self.last_error = f"join {manager_id} failed: {exc}"
             return False
         self._pending_close.pop(manager_id, None)
         self.active = manager_id
@@ -441,6 +447,9 @@ class ResilientMemberClient:
         if self._joined(client):
             self._pending_close.pop(manager_id, None)
             return True
+        self.last_error = (
+            f"resumed join toward {manager_id} timed out"
+        )
         return False
 
     @staticmethod
@@ -485,6 +494,9 @@ class LeaderOrchestrator:
         heartbeat_interval: float | None = 0.5,
         storage_key: KeyMaterial | None = None,
         telemetry: EventBus | None = None,
+        disk=None,
+        journal_fsync_every: int = 1,
+        journal_compact_threshold: int | None = 64,
     ) -> None:
         if not manager_ids:
             raise ValueError("need at least one manager")
@@ -498,6 +510,23 @@ class LeaderOrchestrator:
         self._storage_key = storage_key
         self._telemetry = resolve_bus(telemetry)
         rng = rng if rng is not None else SystemRandom()
+        self._rng = rng
+        # Durable mode: every manager journals onto this (simulated)
+        # disk, and crash recovery replays the journal instead of an
+        # in-memory snapshot.
+        self._disk = disk
+        self._journal_fsync_every = journal_fsync_every
+        self._journal_compact_threshold = journal_compact_threshold
+        if disk is not None and self._storage_key is None:
+            key_rng = (
+                rng.fork("journal-storage")
+                if isinstance(rng, DeterministicRandom) else rng
+            )
+            self._storage_key = KeyMaterial(key_rng.key_material(KEY_LEN))
+        self._journals: dict[str, object] = {}
+        self._all_journals: list = []
+        self.journal_replays = 0
+        self.journal_records_replayed = 0
         self.leaders: dict[str, GroupLeader] = {}
         for manager_id in self.order:
             fork = (
@@ -536,7 +565,38 @@ class LeaderOrchestrator:
             raise StateError("a manager is already running")
         await self._launch(self.current_id)
 
+    def _attach_journal(self, manager_id: str) -> None:
+        from repro.storage.journal import Journal
+
+        rng = self._rng
+        journal = Journal(
+            self._disk, f"{manager_id}.wal", self._storage_key,
+            fsync_every=self._journal_fsync_every,
+            compact_threshold=self._journal_compact_threshold,
+            rng=(rng.fork(f"journal-{manager_id}-{len(self._all_journals)}")
+                 if isinstance(rng, DeterministicRandom) else rng),
+            node=manager_id,
+            telemetry=self._telemetry,
+        )
+        journal.attach(self.leaders[manager_id])
+        self._journals[manager_id] = journal
+        self._all_journals.append(journal)
+
+    def journal_counters(self) -> dict[str, int]:
+        """Accumulated durability counters across every journal epoch."""
+        return {
+            "journal_appends": sum(j.appends for j in self._all_journals),
+            "journal_fsyncs": sum(j.fsyncs for j in self._all_journals),
+            "journal_compactions": sum(
+                j.compactions for j in self._all_journals
+            ),
+            "journal_replays": self.journal_replays,
+            "journal_records_replayed": self.journal_records_replayed,
+        }
+
     async def _launch(self, manager_id: str) -> None:
+        if self._disk is not None:
+            self._attach_journal(manager_id)
         endpoint = await self.network.attach(manager_id)
         self.runtime = LeaderRuntime(
             self.leaders[manager_id],
@@ -566,7 +626,17 @@ class LeaderOrchestrator:
         """
         if self.runtime is None:
             raise StateError("no manager is running")
-        if flush:
+        if self._disk is not None:
+            # Durable mode: the journal *is* the snapshot.  ``flush``
+            # syncs the tail (clean-ish shutdown); without it the
+            # power cut takes whatever fsync already covered.
+            journal = self._journals.get(self.current_id)
+            if flush and journal is not None:
+                journal.sync()
+            self._disk.crash("all" if flush else "none")
+            self._disk.restart()
+            self._snapshot = None
+        elif flush:
             snapshot = snapshot_leader(self.current_leader)
             self._snapshot = (
                 seal_snapshot(snapshot, self._storage_key)
@@ -585,6 +655,24 @@ class LeaderOrchestrator:
         """Restart the crashed manager from its crash-time snapshot."""
         if self.runtime is not None:
             raise StateError("a manager is already running")
+        if self._disk is not None:
+            from repro.storage.recovery import recover_leader
+
+            old = self.leaders[self.current_id]
+            leader, result = recover_leader(
+                self._disk, f"{self.current_id}.wal",
+                self._storage_key, self.directory,
+                config=old.config, rng=old._rng, clock=self._clock,
+                telemetry=self._telemetry, node=self.current_id,
+            )
+            self.journal_replays += 1
+            self.journal_records_replayed += result.records
+            self.leaders[self.current_id] = leader
+            await self._launch(self.current_id)
+            self.warm_restores += 1
+            if self._telemetry:
+                self._telemetry.emit(LeaderRestored(self.current_id))
+            return
         if self._snapshot is None:
             raise StateError("no snapshot to restore from")
         snapshot = (

@@ -91,6 +91,30 @@ class RecoveryFailed(ProtocolError):
     """
 
 
+class StorageError(ReproError):
+    """Base class for failures in the durability layer (:mod:`repro.storage`)."""
+
+
+class DiskCrashed(StorageError):
+    """The (simulated) disk failed mid-operation: the host is down.
+
+    Raised by :class:`~repro.storage.simdisk.SimDisk` at an injected
+    fail-stop point and on any access while the disk is down.  The
+    journal deliberately lets this propagate out of the leader's
+    mutation path — write-ahead discipline means a mutation whose
+    journal record did not survive must not release its outputs.
+    """
+
+
+class RecoveryError(StorageError):
+    """Journal replay could not reconstruct any valid state prefix.
+
+    The loud alternative to silently restoring corrupt state: raised
+    when the journal file is missing, or its base snapshot record is
+    torn or corrupt.  Callers fall back to cold recovery (fresh leader,
+    members re-authenticate)."""
+
+
 class FormalModelError(ReproError):
     """Base class for errors in the symbolic formal model."""
 

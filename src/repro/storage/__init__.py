@@ -1,0 +1,44 @@
+"""Crash-consistent durability for the group leader.
+
+The persistence module (`repro.enclaves.itgm.persistence`) can seal a
+snapshot, but a snapshot that lives only in memory does not survive a
+crash.  This package closes the gap with the classic storage stack:
+
+* :mod:`repro.storage.simdisk` — a virtual filesystem with seeded
+  fault injection (torn writes, lost un-fsynced suffixes, bit rot,
+  fail-stop at the Nth write), in the style of ``repro.net.faults``.
+* :mod:`repro.storage.journal` — an append-only write-ahead log of
+  sealed, checksummed records; every leader mutation is journaled
+  *before* its outgoing frames are released, and snapshot-plus-log
+  compaction bounds replay time.
+* :mod:`repro.storage.recovery` — replay that detects and truncates
+  torn or corrupt tails and reconstructs a leader equal to one
+  restored from some valid prefix of mutations — never a corrupt one.
+* :mod:`repro.storage.shipping` — streams sealed journal records to
+  ``failover.ManagerSet`` standbys so a promoted standby restores
+  member sessions warm (no re-authentication for shipped mutations).
+* :mod:`repro.storage.sweep` — the crash-point sweep: crash at every
+  write boundary under every fault mode, recover, and assert the §5.4
+  invariants plus prefix-consistency.
+"""
+
+from repro.storage.journal import Journal
+from repro.storage.recovery import ReplayResult, recover_leader, replay_records
+from repro.storage.shipping import JournalFollower, JournalShipper, promote
+from repro.storage.simdisk import DiskFaults, SimDisk
+from repro.storage.sweep import SweepConfig, SweepReport, run_crash_sweep
+
+__all__ = [
+    "DiskFaults",
+    "Journal",
+    "JournalFollower",
+    "JournalShipper",
+    "ReplayResult",
+    "SimDisk",
+    "SweepConfig",
+    "SweepReport",
+    "promote",
+    "recover_leader",
+    "replay_records",
+    "run_crash_sweep",
+]

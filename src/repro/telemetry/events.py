@@ -291,10 +291,15 @@ class RejoinCompleted(TelemetryEvent):
 @register_event
 @dataclass(frozen=True, slots=True)
 class RecoveryGaveUp(TelemetryEvent):
-    """Every rejoin avenue failed; the supervisor stopped trying."""
+    """Every rejoin avenue failed; the supervisor stopped trying.
+
+    ``last_error`` carries the final failure reason (which manager, and
+    why) so an operator does not have to replay the whole event stream
+    to learn how recovery died."""
 
     node: str
     attempts: int
+    last_error: str = ""
 
 
 @register_event
@@ -321,6 +326,77 @@ class LeaderFailover(TelemetryEvent):
 
     node: str
     to: str
+
+
+# durability / journal -------------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JournalAppended(TelemetryEvent):
+    """One sealed record was appended to the leader's write-ahead log."""
+
+    node: str
+    kind: str
+    record_seq: int
+    size: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JournalSynced(TelemetryEvent):
+    """An fsync made ``records`` buffered journal records durable."""
+
+    node: str
+    records: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JournalCompacted(TelemetryEvent):
+    """The journal was rewritten as one base snapshot (``folded`` deltas
+    absorbed), bounding future replay time."""
+
+    node: str
+    record_seq: int
+    folded: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JournalReplayed(TelemetryEvent):
+    """Crash recovery replayed the journal into a restored leader.
+
+    ``truncated`` is true when a torn or corrupt tail was discarded;
+    ``reason`` says why.  ``duration`` comes from the injected clock
+    (zero on the virtual-time loop), so seeded logs stay deterministic.
+    """
+
+    node: str
+    base_seq: int
+    records: int
+    truncated: bool
+    reason: str
+    duration: float
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class JournalShipped(TelemetryEvent):
+    """Durable journal records were streamed to a standby follower."""
+
+    node: str
+    peer: str
+    record_seq: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class StandbyPromoted(TelemetryEvent):
+    """A standby materialized a leader from shipped journal state."""
+
+    node: str
+    record_seq: int
 
 
 # -- rejection classification ------------------------------------------------

@@ -5,6 +5,7 @@ import pytest
 from repro.crypto.rng import DeterministicRandom
 from repro.enclaves.common import AppMessage, UserDirectory
 from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.admin import TextPayload
 from repro.enclaves.itgm.failover import (
     ManagerSet,
     ResilientMember,
@@ -117,6 +118,60 @@ class TestFailover:
         net.run()
         assert alice.protocol.admin_log == log_before
         assert alice.protocol.stats.rejected > rejected_before
+
+    def test_partitioned_primary_cannot_split_the_group(self):
+        """Satellite: a primary that is partitioned away (still running,
+        never crashed) must not leave the group with two live primaries.
+        After members fail over, the old primary's broadcasts are
+        rejected -- only the new primary's traffic is accepted."""
+        net, managers, members = build()
+        old_primary = managers.managers["mgr-0"]
+        for member in members.values():
+            net.post(member.follow("mgr-0"))
+            net.run()
+        assert old_primary.members == ["alice", "bob"]
+
+        # Operators declare mgr-0 unreachable and move the group, but
+        # mgr-0 itself keeps running on its side of the partition: it
+        # is NOT torn down and stays wired to the network.
+        managers.fail_primary()
+        for member in members.values():
+            net.post(member.follow("mgr-1"))
+            net.run()
+
+        logs_before = {uid: list(m.protocol.admin_log)
+                       for uid, m in members.items()}
+        rejected_before = {uid: m.protocol.stats.rejected
+                           for uid, m in members.items()}
+
+        # The partition heals: the stale primary floods its (locally
+        # still valid) session state at the members.
+        net.post_all(old_primary.broadcast_admin(TextPayload("stale")))
+        net.run()
+        net.post_all(old_primary.rekey_now())
+        net.run()
+
+        for uid, member in members.items():
+            assert member.protocol.admin_log == logs_before[uid], \
+                f"{uid} accepted traffic from the partitioned primary"
+            assert member.protocol.stats.rejected > rejected_before[uid]
+
+        # Exactly one primary's traffic is accepted by every member.
+        new_primary = managers.managers["mgr-1"]
+        net.post_all(new_primary.broadcast_admin(TextPayload("live")))
+        net.run()
+        for uid, member in members.items():
+            texts = [p.text for p in member.protocol.admin_log
+                     if isinstance(p, TextPayload)]
+            assert "stale" not in texts
+            assert texts[-1] == "live"
+            assert member.protocol.group_epoch == new_primary.group_epoch
+        accepted_by_all = [
+            mid for mid, mgr in managers.managers.items()
+            if all(m.protocol.admin_log == mgr.admin_send_log(uid)
+                   for uid, m in members.items())
+        ]
+        assert accepted_by_all == ["mgr-1"]
 
     def test_follow_without_credentials_fails(self):
         net, managers, members = build()

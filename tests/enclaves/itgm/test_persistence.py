@@ -8,6 +8,8 @@ from repro.enclaves.harness import wire
 from repro.enclaves.itgm.admin import TextPayload
 from repro.enclaves.itgm.leader_session import LeaderState
 from repro.enclaves.itgm.persistence import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
     open_snapshot,
     restore_leader,
     seal_snapshot,
@@ -198,6 +200,27 @@ class TestSealedStorage:
         blob = seal_snapshot(snapshot, self.STORAGE_KEY)
         group_key_hex = snapshot["group_key"]
         assert bytes.fromhex(group_key_hex) not in blob
+
+    def test_load_snapshot_rejects_unknown_version(self):
+        """A blob from a future (or corrupted) format version must fail
+        loudly at load time, not halfway through a restore."""
+        group = ItgmGroup(["alice"]).join_all()
+        snapshot = snapshot_leader(group.leader)
+        snapshot["version"] = SNAPSHOT_VERSION + 1
+        blob = seal_snapshot(snapshot, self.STORAGE_KEY)
+        # The seal itself is fine -- only the version gate trips.
+        assert open_snapshot(blob, self.STORAGE_KEY) == snapshot
+        with pytest.raises(ProtocolError) as err:
+            load_snapshot(blob, self.STORAGE_KEY)
+        message = str(err.value)
+        assert str(SNAPSHOT_VERSION + 1) in message
+        assert str(SNAPSHOT_VERSION) in message
+
+    def test_load_snapshot_accepts_current_version(self):
+        group = ItgmGroup(["alice"]).join_all()
+        snapshot = snapshot_leader(group.leader)
+        blob = seal_snapshot(snapshot, self.STORAGE_KEY)
+        assert load_snapshot(blob, self.STORAGE_KEY) == snapshot
 
     def test_full_cycle_restart_from_sealed_blob(self):
         group = ItgmGroup(["alice", "bob"]).join_all()

@@ -36,7 +36,8 @@ FAST = SupervisorConfig(
 )
 
 
-def build(n_members=2, manager_ids=MANAGERS, seed=3, config=FAST):
+def build(n_members=2, manager_ids=MANAGERS, seed=3, config=FAST,
+          disk=None, telemetry=None):
     net = MemoryNetwork()
     directory = UserDirectory()
     rng = DeterministicRandom(seed)
@@ -50,12 +51,14 @@ def build(n_members=2, manager_ids=MANAGERS, seed=3, config=FAST):
         rng=rng.fork("mgrs"),
         clock=LoopClock(asyncio.get_event_loop()),
         tick_interval=0.1, heartbeat_interval=0.25,
+        disk=disk, telemetry=telemetry,
     )
     members = {
         uid: ResilientMemberClient(
             {m: creds[uid] for m in manager_ids},
             list(manager_ids), net,
             config=config, rng=rng.fork(uid),
+            telemetry=telemetry,
         )
         for uid in member_ids
     }
@@ -297,6 +300,105 @@ class TestOrchestrator:
             _, orchestrator, members = build()
             with pytest.raises(StateError):
                 await orchestrator.crash()
+
+        run_virtual(scenario())
+
+
+class TestDurableOrchestrator:
+    """The orchestrator on a simulated disk: journal-backed recovery."""
+
+    def test_unflushed_crash_recovers_from_journal(self):
+        """Without a disk, crash(flush=False) loses everything.  With
+        the write-ahead journal, the state is already durable — warm
+        restore works even after an unflushed power cut."""
+        async def scenario():
+            from repro.storage.simdisk import SimDisk
+
+            disk = SimDisk(rng=DeterministicRandom(77))
+            _, orchestrator, members = build(disk=disk)
+            await start_all(orchestrator, members)
+            try:
+                await asyncio.sleep(0.5)
+                await orchestrator.crash(flush=False)
+                await asyncio.sleep(0.3)
+                await orchestrator.restore_warm()
+                await asyncio.sleep(2.0)
+                for supervisor in members.values():
+                    assert supervisor.connected
+                counters = orchestrator.journal_counters()
+                assert counters["journal_replays"] == 1
+                assert counters["journal_records_replayed"] >= 1
+                assert counters["journal_appends"] >= 1
+                await orchestrator.runtime.broadcast_admin(
+                    TextPayload("post-journal-restore")
+                )
+                assert await wait_until(lambda: all(
+                    TextPayload("post-journal-restore")
+                    in s.client.protocol.admin_log
+                    for s in members.values()
+                ))
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+    def test_sessions_continue_without_reauth(self):
+        """Journal recovery at fsync_every=1 is warm: member rejoin
+        counters do not move across the crash/restore cycle."""
+        async def scenario():
+            from repro.storage.simdisk import SimDisk
+
+            disk = SimDisk(rng=DeterministicRandom(78))
+            _, orchestrator, members = build(disk=disk)
+            await start_all(orchestrator, members)
+            try:
+                await asyncio.sleep(0.5)
+                rejoins_before = {
+                    uid: s.rejoins for uid, s in members.items()
+                }
+                await orchestrator.crash(flush=False)
+                await orchestrator.restore_warm()
+                await asyncio.sleep(2.0)
+                for uid, supervisor in members.items():
+                    assert supervisor.connected
+                    assert supervisor.rejoins == rejoins_before[uid]
+                    assert supervisor.suspicions == 0
+            finally:
+                await stop_all(orchestrator, members)
+
+        run_virtual(scenario())
+
+
+class TestRecoveryGaveUpEvent:
+    def test_terminal_event_carries_member_attempts_and_error(self):
+        """Satellite: retry exhaustion emits a terminal telemetry event
+        with the member id, the attempt count, and the last error."""
+        from repro.telemetry.events import EventBus, RecoveryGaveUp
+
+        async def scenario():
+            bus = EventBus()
+            with bus.capture() as records:
+                _, orchestrator, members = build(
+                    n_members=1, telemetry=bus
+                )
+                await start_all(orchestrator, members)
+                supervisor = next(iter(members.values()))
+                try:
+                    await orchestrator.crash()
+                    await asyncio.wait_for(
+                        supervisor.wait_done(), timeout=120
+                    )
+                finally:
+                    await stop_all(orchestrator, members)
+            assert supervisor.gave_up
+            events = [r.event for r in records
+                      if isinstance(r.event, RecoveryGaveUp)]
+            assert len(events) == 1
+            event = events[0]
+            assert event.node == supervisor.user_id
+            assert event.attempts >= FAST.max_rounds * 2
+            assert event.last_error
+            assert "mgr-" in event.last_error
 
         run_virtual(scenario())
 

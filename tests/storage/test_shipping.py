@@ -1,0 +1,207 @@
+"""Tests for journal shipping and warm standby takeover.
+
+The acceptance bar: with shipping enabled, `ManagerSet` promotion
+preserves member sessions — verified by *counting authentication
+handshakes on the wire*.  Zero new handshakes for shipped mutations;
+exactly the desynced members re-authenticate when a tail went unshipped.
+"""
+
+import pytest
+
+from repro.crypto.keys import KEY_LEN, KeyMaterial
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import AppMessage, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.failover import ManagerSet
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.exceptions import RecoveryError
+from repro.storage.journal import Journal
+from repro.storage.shipping import JournalFollower, JournalShipper, promote
+from repro.storage.simdisk import SimDisk
+from repro.telemetry.events import EventBus, JournalShipped, StandbyPromoted
+from repro.wire.labels import Label
+
+MEMBER_IDS = ("alice", "bob")
+
+
+class Fixture:
+    """Two managers, a journaled primary, a shipping follower."""
+
+    def __init__(self, seed=11, telemetry=None):
+        rng = DeterministicRandom(seed)
+        self.net = SyncNetwork()
+        self.directory = UserDirectory()
+        creds = {
+            uid: self.directory.register_password(uid, f"pw-{uid}")
+            for uid in MEMBER_IDS
+        }
+        self.managers = ManagerSet.create(
+            2, self.directory, rng=rng.fork("mgrs")
+        )
+        for manager_id, manager in self.managers.managers.items():
+            wire(self.net, manager_id, manager)
+        self.members = {
+            uid: MemberProtocol(creds[uid], "mgr-0", rng.fork(uid))
+            for uid in MEMBER_IDS
+        }
+        for uid, member in self.members.items():
+            wire(self.net, uid, member)
+
+        self.disk = SimDisk(rng=rng.fork("disk"))
+        self.storage_key = KeyMaterial(
+            rng.fork("storage").key_material(KEY_LEN)
+        )
+        self.journal = Journal(
+            self.disk, "mgr-0.wal", self.storage_key,
+            rng=rng.fork("seal"), node="mgr-0", telemetry=telemetry,
+        )
+        self.journal.attach(self.managers.primary)
+        self.shipper = JournalShipper(
+            self.journal, telemetry=telemetry
+        )
+        self.follower = JournalFollower("mgr-1", self.storage_key)
+        self.shipper.add_follower(
+            self.follower, leader=self.managers.primary
+        )
+        self.rng = rng
+
+    def join_all(self):
+        for member in self.members.values():
+            self.net.post(member.start_join())
+            self.net.run()
+        return self
+
+    def handshakes(self):
+        """Authentication handshakes observed on the wire so far."""
+        return sum(
+            1 for e in self.net.wire_log
+            if e.label is Label.AUTH_INIT_REQ
+        )
+
+    def take_over(self, telemetry=None):
+        """Kill the primary host; promote the follower warm."""
+        self.managers.fail_primary()
+        new_leader = promote(
+            self.follower, self.managers,
+            rng=self.rng.fork("promoted"), telemetry=telemetry,
+        )
+        # The standby re-hosts the dead primary's identity/address.
+        wire(self.net, "mgr-0", new_leader)
+        return new_leader
+
+
+class TestWarmTakeover:
+    def test_promotion_preserves_sessions_no_reauth(self):
+        fx = Fixture().join_all()
+        fx.net.post_all(
+            fx.managers.primary.broadcast_admin(TextPayload("before")))
+        fx.net.run()
+        fx.net.post_all(fx.managers.primary.rekey_now())
+        fx.net.run()
+
+        before = fx.handshakes()
+        new_leader = fx.take_over()
+
+        # Traffic continues on the same sessions: admin, rekey, app.
+        fx.net.post_all(new_leader.broadcast_admin(TextPayload("after")))
+        fx.net.run()
+        fx.net.post_all(new_leader.rekey_now())
+        fx.net.run()
+        fx.net.post(fx.members["alice"].seal_app(b"survived"))
+        fx.net.run()
+
+        assert fx.handshakes() == before, \
+            "warm takeover must not trigger re-authentication"
+        for uid, member in fx.members.items():
+            assert member.state is MemberState.CONNECTED
+            texts = [p.text for p in member.admin_log
+                     if isinstance(p, TextPayload)]
+            assert texts == ["before", "after"]
+            assert member.admin_log == new_leader.admin_send_log(uid)
+            assert member.group_epoch == new_leader.group_epoch
+        received = fx.net.events_of("bob", AppMessage)
+        assert [e.payload for e in received] == [b"survived"]
+
+    def test_promoted_leader_is_primary(self):
+        fx = Fixture().join_all()
+        new_leader = fx.take_over()
+        assert fx.managers.primary is new_leader
+        assert new_leader.leader_id == "mgr-0"
+        assert new_leader.members == sorted(MEMBER_IDS)
+
+    def test_unshipped_tail_reauths_only_affected_member(self):
+        """Mutations that never reached the follower desync exactly the
+        members they touched; everyone else stays warm."""
+        fx = Fixture().join_all()
+        fx.net.post_all(
+            fx.managers.primary.broadcast_admin(TextPayload("shipped")))
+        fx.net.run()
+
+        # Partition the replication stream, then mutate alice's session.
+        fx.shipper.detach()
+        fx.net.post_all(fx.managers.primary.send_admin_to(
+            "alice", TextPayload("unshipped")))
+        fx.net.run()
+
+        before = fx.handshakes()
+        new_leader = fx.take_over()
+
+        # The promoted leader is one admin exchange behind alice: its
+        # frames look stale to her and hers look early to it.  The
+        # supervisor repair path is abort + rejoin.
+        fx.net.post_all(new_leader.abort_session("alice"))
+        fx.net.run()
+        fx.members["alice"]._reset_session()
+        fx.net.post(fx.members["alice"].start_join())
+        fx.net.run()
+
+        assert fx.handshakes() == before + 1, \
+            "exactly the desynced member re-authenticates"
+        fx.net.post_all(new_leader.broadcast_admin(TextPayload("post")))
+        fx.net.run()
+        for uid, member in fx.members.items():
+            assert member.state is MemberState.CONNECTED
+            texts = [p.text for p in member.admin_log
+                     if isinstance(p, TextPayload)]
+            assert texts[-1] == "post"
+            # §5.4 prefix restored for everyone after repair.
+            snd = [p.encode()
+                   for p in new_leader.admin_send_log(uid)]
+            rcv = [p.encode() for p in member.admin_log]
+            assert rcv == snd[:len(rcv)]
+
+    def test_late_follower_is_primed_with_base(self):
+        fx = Fixture().join_all()
+        late = JournalFollower("late", fx.storage_key)
+        fx.shipper.add_follower(late, leader=fx.managers.primary)
+        assert late.records == 1
+        fx.net.post_all(
+            fx.managers.primary.broadcast_admin(TextPayload("x")))
+        fx.net.run()
+        assert late.records > 1
+        assert late.state()["leader_id"] == "mgr-0"
+
+    def test_unprimed_follower_promotion_is_loud(self):
+        fx = Fixture()
+        empty = JournalFollower("empty", fx.storage_key)
+        with pytest.raises(RecoveryError):
+            promote(empty, fx.managers)
+
+    def test_compaction_resets_follower_tail(self):
+        fx = Fixture().join_all()
+        fx.journal.compact(fx.managers.primary)
+        assert fx.follower.records == 1
+
+    def test_shipping_telemetry(self):
+        bus = EventBus()
+        with bus.capture() as records:
+            fx = Fixture(telemetry=bus).join_all()
+            fx.take_over(telemetry=bus)
+        shipped = [r.event for r in records
+                   if isinstance(r.event, JournalShipped)]
+        promoted = [r.event for r in records
+                    if isinstance(r.event, StandbyPromoted)]
+        assert shipped and shipped[0].peer == "mgr-1"
+        assert len(promoted) == 1
+        assert promoted[0].node == "mgr-1"

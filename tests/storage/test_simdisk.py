@@ -1,0 +1,150 @@
+"""Tests for the fault-injecting virtual disk."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import DiskCrashed, StorageError
+from repro.storage.simdisk import DiskFaults, SimDisk
+
+
+def disk(**faults):
+    return SimDisk(
+        rng=DeterministicRandom(5),
+        faults=DiskFaults(**faults) if faults else None,
+    )
+
+
+class TestBasics:
+    def test_append_read_roundtrip(self):
+        d = disk()
+        d.append("f", b"hello ")
+        d.append("f", b"world")
+        assert d.read("f") == b"hello world"
+
+    def test_read_missing_file(self):
+        with pytest.raises(StorageError):
+            disk().read("nope")
+
+    def test_replace_is_rename(self):
+        d = disk()
+        d.append("f", b"old")
+        d.fsync("f")
+        d.append("f.tmp", b"new")
+        d.fsync("f.tmp")
+        d.replace("f.tmp", "f")
+        assert d.read("f") == b"new"
+        assert not d.exists("f.tmp")
+
+    def test_replace_refuses_unsynced_source(self):
+        d = disk()
+        d.append("f.tmp", b"new")
+        with pytest.raises(StorageError):
+            d.replace("f.tmp", "f")
+
+    def test_counters(self):
+        d = disk()
+        d.append("f", b"x")
+        d.append("f", b"y")
+        d.fsync("f")
+        assert d.counters["writes"] == 2
+        assert d.counters["fsyncs"] == 1
+
+
+class TestCrash:
+    def test_crash_none_loses_unsynced_suffix(self):
+        d = disk()
+        d.append("f", b"durable")
+        d.fsync("f")
+        d.append("f", b" volatile")
+        d.crash("none")
+        d.restart()
+        assert d.read("f") == b"durable"
+        assert d.counters["lost_bytes"] == len(b" volatile")
+
+    def test_crash_all_keeps_everything(self):
+        d = disk()
+        d.append("f", b"ab")
+        d.crash("all")
+        d.restart()
+        assert d.read("f") == b"ab"
+
+    def test_crash_torn_keeps_a_prefix(self):
+        d = disk()
+        d.append("f", b"durable|")
+        d.fsync("f")
+        d.append("f", b"0123456789" * 10)
+        d.crash("torn")
+        d.restart()
+        data = d.read("f")
+        assert data.startswith(b"durable|")
+        assert len(data) <= len(b"durable|") + 100
+        # Whatever survived is a byte-prefix, never a reordering.
+        assert (b"durable|" + b"0123456789" * 10).startswith(data)
+
+    def test_down_disk_raises_everywhere(self):
+        d = disk()
+        d.append("f", b"x")
+        d.crash("all")
+        for op in (
+            lambda: d.read("f"),
+            lambda: d.append("f", b"y"),
+            lambda: d.fsync("f"),
+            lambda: d.exists("f"),
+        ):
+            with pytest.raises(DiskCrashed):
+                op()
+        d.restart()
+        assert d.read("f") == b"x"
+
+
+class TestFaults:
+    def test_fail_stop_at_nth_write(self):
+        d = disk(fail_at_write=3, torn_tail=False, crash_keep="all")
+        d.append("f", b"one")
+        d.append("f", b"two")
+        with pytest.raises(DiskCrashed):
+            d.append("f", b"three")
+        d.restart()
+        assert d.read("f") == b"onetwo"
+
+    def test_fail_stop_torn_keeps_strict_prefix(self):
+        d = disk(fail_at_write=1, torn_tail=True, crash_keep="all")
+        payload = b"0123456789abcdef"
+        with pytest.raises(DiskCrashed):
+            d.append("f", payload)
+        d.restart()
+        data = d.read("f")
+        assert 0 < len(data) < len(payload)
+        assert payload.startswith(data)
+
+    def test_fail_stop_is_seeded_deterministic(self):
+        def run():
+            d = SimDisk(
+                rng=DeterministicRandom(9),
+                faults=DiskFaults(fail_at_write=2, crash_keep="torn"),
+            )
+            d.append("f", b"a" * 40)
+            with pytest.raises(DiskCrashed):
+                d.append("f", b"b" * 40)
+            d.restart()
+            return d.read("f")
+
+        assert run() == run()
+
+    def test_bitrot_flips_one_byte_silently(self):
+        d = disk(bitrot_write=1)
+        d.append("f", b"\x00" * 8)
+        assert d.read("f") != b"\x00" * 8
+        assert len(d.read("f")) == 8
+        assert d.counters["rotted"] == 1
+
+    def test_corrupt_targets_durable_byte(self):
+        d = disk()
+        d.append("f", b"abcd")
+        d.fsync("f")
+        d.corrupt("f", 2)
+        assert d.read("f") == b"ab" + bytes([ord("c") ^ 0xFF]) + b"d"
+
+    def test_unknown_crash_keep_rejected(self):
+        with pytest.raises(ValueError):
+            DiskFaults(crash_keep="maybe")

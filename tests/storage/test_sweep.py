@@ -1,0 +1,51 @@
+"""The crash-point sweep as a test.
+
+Tier-1 runs a strided subsample (fast, still crossing every fault mode
+and the compaction boundary); the chaos marker runs the exhaustive
+sweep on a seed matrix, mirroring `python -m repro durability`.
+"""
+
+import pytest
+
+from repro.storage.sweep import SweepConfig, run_crash_sweep
+
+
+class TestSweepSubsampled:
+    def test_strided_sweep_passes(self):
+        report = run_crash_sweep(SweepConfig(seed=7, stride=7))
+        assert report.ok, "\n".join(report.failures)
+        assert report.cases > 0
+        assert report.warm > 0
+
+    def test_torn_and_lost_tails_are_truncated_not_fatal(self):
+        report = run_crash_sweep(SweepConfig(
+            seed=5, stride=5, modes=("torn", "lost", "bitrot"),
+        ))
+        assert report.ok, "\n".join(report.failures)
+        assert report.truncated > 0
+
+    def test_batched_fsync_trades_warmth_not_safety(self):
+        """fsync_every > 1 may force re-authentication (members can be
+        ahead of the journal) but never corrupt recovered state."""
+        report = run_crash_sweep(SweepConfig(
+            seed=7, stride=9, fsync_every=4, modes=("lost",),
+        ))
+        assert report.ok, "\n".join(report.failures)
+
+    def test_report_table_renders(self):
+        report = run_crash_sweep(SweepConfig(
+            seed=3, stride=17, modes=("failstop",),
+        ))
+        table = report.format_table()
+        assert "verdict" in table
+        assert "PASS" in table
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [3, 7, 11])
+class TestSweepExhaustive:
+    def test_full_sweep(self, seed):
+        report = run_crash_sweep(SweepConfig(seed=seed))
+        assert report.ok, "\n".join(report.failures)
+        # Every write boundary was crashed under every crash mode.
+        assert report.cases >= 3 * report.total_writes
