@@ -17,6 +17,8 @@ from pathlib import Path
 
 import pytest
 
+from schema import record as bench_record
+
 from repro.crypto.rng import DeterministicRandom
 from repro.enclaves.common import RekeyPolicy, UserDirectory
 from repro.enclaves.harness import SyncNetwork, wire
@@ -38,6 +40,13 @@ def write_bench_artifact(name: str, payload: dict) -> Path:
     path = BENCH_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def write_bench_record(name: str, payload: dict) -> Path:
+    """Persist ``payload`` wrapped in the shared artifact envelope
+    (see :mod:`schema`) — the writer every benchmark should use, so all
+    committed ``BENCH_*.json`` files share one parseable shape."""
+    return write_bench_artifact(name, bench_record(name, payload))
 
 
 def build_itgm_group(n_members: int, seed: int = 0,

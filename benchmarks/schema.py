@@ -1,0 +1,72 @@
+"""Shared envelope schema for committed ``BENCH_*.json`` artifacts.
+
+Every benchmark artifact is one JSON document with the same top-level
+shape, so tooling (CI artifact uploads, trend dashboards, the next
+benchmark that wants to read a previous one) can parse any of them
+without per-artifact knowledge::
+
+    {
+      "artifact": "durability",        # matches BENCH_<artifact>.json
+      "schema_version": 1,
+      "payload": { ... }               # the benchmark's own measurements
+    }
+
+Writers go through :func:`record` (usually via the conftest's
+``write_bench_record``); readers go through :func:`validate_record`,
+which checks the envelope and returns the payload.
+"""
+
+from __future__ import annotations
+
+import json
+
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KEYS = {"artifact", "schema_version", "payload"}
+
+
+def record(artifact: str, payload: dict) -> dict:
+    """Wrap one benchmark's measurements in the shared envelope.
+
+    ``artifact`` must be the BENCH file's name stem (``durability`` for
+    ``BENCH_durability.json``); ``payload`` must be a JSON-serializable
+    dict.  Raises ``ValueError`` on malformed input so a benchmark
+    fails at write time, not when someone later reads the artifact.
+    """
+    if not isinstance(artifact, str) or not artifact:
+        raise ValueError(f"artifact name must be a non-empty str, "
+                         f"got {artifact!r}")
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be a dict, got {type(payload)}")
+    try:
+        json.dumps(payload)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"payload is not JSON-serializable: {exc}")
+    return {
+        "artifact": artifact,
+        "schema_version": SCHEMA_VERSION,
+        "payload": payload,
+    }
+
+
+def validate_record(doc: dict) -> dict:
+    """Check one artifact document's envelope; return its payload."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"artifact document must be a dict, "
+                         f"got {type(doc)}")
+    missing = _ENVELOPE_KEYS - doc.keys()
+    if missing:
+        raise ValueError(f"artifact document lacks {sorted(missing)}")
+    extra = doc.keys() - _ENVELOPE_KEYS
+    if extra:
+        raise ValueError(f"artifact document has stray keys "
+                         f"{sorted(extra)}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {doc['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc["artifact"], str) or not doc["artifact"]:
+        raise ValueError("artifact name must be a non-empty str")
+    if not isinstance(doc["payload"], dict):
+        raise ValueError("payload must be a dict")
+    return doc["payload"]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import build_itgm_group, write_bench_artifact
+from conftest import build_itgm_group, write_bench_record
 from repro.crypto.keys import KEY_LEN, KeyMaterial
 from repro.crypto.rng import DeterministicRandom
 from repro.enclaves.itgm.admin import TextPayload
@@ -139,4 +139,4 @@ def test_append_overhead_and_replay_curve():
     # Replaying the compacted log is cheaper than the longest raw log.
     assert result.records < max(LOG_LENGTHS)
 
-    write_bench_artifact("durability", payload)
+    write_bench_record("durability", payload)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import write_bench_artifact
+from conftest import write_bench_record
 from repro.crypto.rng import DeterministicRandom
 from repro.enclaves.common import UserDirectory
 from repro.enclaves.harness import SyncNetwork
@@ -104,7 +104,7 @@ def test_disabled_telemetry_overhead_within_bound():
     handshake_ratio = handshake_instr / handshake_seed
     rekey_ratio = rekey_instr / rekey_seed
 
-    write_bench_artifact("telemetry", {
+    write_bench_record("telemetry", {
         "bound": MAX_OVERHEAD,
         "auth_handshake": {
             "seed_s": handshake_seed,

@@ -24,6 +24,14 @@ Commands
     Run a scenario (demo session, attack matrix, chaos soak) with the
     telemetry layer attached: live event summary, blocked-frame trail,
     optional JSONL export and Prometheus dump.
+``fabric``
+    Drive the multi-group enclave fabric: a scripted sharded-hosting
+    demo, a live migration walkthrough, or the seeded many-group soak
+    (churn + chaos + migration + shard crash); exits nonzero on any
+    safety, isolation, or convergence failure.
+
+Invoked with no command (or an unknown one), the CLI prints the full
+command list and exits nonzero.
 """
 
 from __future__ import annotations
@@ -414,8 +422,146 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    if args.mode == "migrate":
+        from repro.fabric import run_migration_demo
+
+        demo = run_migration_demo(args.seed)
+        print(demo.format_report())
+        return 0 if demo.ok else 1
+    if args.mode == "demo":
+        return _fabric_demo(args.seed)
+
+    from repro.fabric import FabricConfig, run_fabric_soak
+
+    bus = exporter = None
+    if args.telemetry:
+        from repro.telemetry import EventBus, attach_jsonl
+
+        bus = EventBus()
+        exporter = attach_jsonl(bus, args.telemetry)
+    report = run_fabric_soak(
+        FabricConfig.full(
+            seed=args.seed,
+            n_groups=args.groups,
+            n_shards=args.shards,
+            duration=args.duration,
+        ),
+        telemetry=bus,
+    )
+    print(report.format_table())
+    if exporter is not None:
+        exporter.close()
+        print(f"wrote {args.telemetry} ({exporter.lines_written} events)")
+    return 0 if (
+        report.safe and report.isolated and report.converged
+    ) else 1
+
+
+def _fabric_demo(seed: int) -> int:
+    """Scripted sharded-hosting tour: placement, demux, isolation."""
+    from repro.crypto.rng import DeterministicRandom
+    from repro.enclaves.common import AppMessage, UserDirectory
+    from repro.enclaves.harness import SyncNetwork, wire
+    from repro.fabric import FabricMember, GroupDirectory, ShardHost
+    from repro.storage.simdisk import SimDisk
+    from repro.wire.message import Envelope, wrap_group
+
+    rng = DeterministicRandom(seed)
+    net = SyncNetwork()
+    users = UserDirectory()
+    shard_ids = ["shard-a", "shard-b"]
+    fabric = GroupDirectory(shard_ids, rng=rng.fork("directory"))
+    shards = {
+        shard_id: ShardHost(
+            shard_id, SimDisk(rng=rng.fork(f"disk-{shard_id}")),
+            rng=rng.fork(shard_id),
+        )
+        for shard_id in shard_ids
+    }
+    for shard_id, host in shards.items():
+        wire(net, shard_id, host)
+
+    print(f"fabric demo — {len(shard_ids)} shards, seed={seed}")
+    members: dict[str, FabricMember] = {}
+    for g in range(3):
+        group_id = f"grp-{g}"
+        record = fabric.create_group(group_id)
+        shards[record.shard_id].host_group(
+            group_id, users, storage_key=record.storage_key
+        )
+        for m in range(2):
+            uid = f"{group_id}.u{m}"
+            creds = users.register_password(uid, f"pw-{uid}")
+            fm = FabricMember(creds, group_id, fabric, rng=rng.fork(uid))
+            members[uid] = fm
+            wire(net, uid, fm)
+            net.post_all(fm.start_join())
+            net.run()
+        print(f"  {group_id:<8} placed on {record.shard_id} "
+              f"(directory v{record.version}), members joined: "
+              f"{shards[record.shard_id].leader(group_id).members}")
+
+    for group_id in ("grp-0", "grp-1", "grp-2"):
+        net.post(members[f"{group_id}.u0"].seal_app(
+            f"hello {group_id}".encode()
+        ))
+        net.run()
+
+    # Cross-post grp-0's sealed frame into grp-1's key space, plus a
+    # frame scoped to a group nobody hosts: both die loudly.
+    legit = members["grp-0.u0"].protocol.seal_app(b"LEAK")
+    victim = fabric.record("grp-1")
+    forged = Envelope(legit.label, legit.sender, "grp-1", legit.body)
+    net.post(wrap_group("grp-1", forged, victim.shard_id))
+    net.post(wrap_group("grp-phantom", legit, victim.shard_id))
+    net.run()
+
+    delivered = sum(
+        len(net.events_of(uid, AppMessage)) for uid in members
+    )
+    print(f"  app deliveries     : {delivered} "
+          "(one echo-free relay per fellow member)")
+    for shard_id, host in sorted(shards.items()):
+        s = host.stats
+        print(f"  {shard_id:<8} demux     : {s.frames_in} in, "
+              f"{s.delivered} delivered, {s.foreign_rejected} foreign "
+              f"rejected, {s.malformed} malformed")
+    foreign = sum(h.stats.foreign_rejected for h in shards.values())
+    leaked = sum(
+        1 for uid, fm in members.items()
+        for e in net.events_of(uid, AppMessage)
+        if b"LEAK" in e.payload
+    )
+    print(f"  isolation          : cross-post leaked to {leaked} members; "
+          f"{foreign} phantom-group frame(s) rejected by the demux")
+    return 0 if leaked == 0 and foreign >= 1 else 1
+
+
+class _HelpfulParser(argparse.ArgumentParser):
+    """A parser whose errors name every command, not just the usage.
+
+    ``python -m repro`` with no (or an unknown) command is how people
+    discover the toolkit; answer with the full command list on stderr
+    and the standard nonzero argparse exit.
+    """
+
+    def error(self, message: str):  # noqa: ANN201 - argparse signature
+        sys.stderr.write(f"{self.prog}: error: {message}\n")
+        sub = next(
+            (a for a in self._actions
+             if isinstance(a, argparse._SubParsersAction)),
+            None,
+        )
+        if sub is not None:
+            sys.stderr.write("\ncommands:\n")
+            for pseudo in sub._choices_actions:
+                sys.stderr.write(f"  {pseudo.dest:<14} {pseudo.help}\n")
+        self.exit(2)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _HelpfulParser(
         prog="repro",
         description="Intrusion-Tolerant Group Management in Enclaves "
                     "(DSN 2001) — reproduction toolkit",
@@ -510,6 +656,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", help="write markdown to a file")
     report.add_argument("--seed", type=int, default=0)
     report.set_defaults(func=_cmd_report)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="drive the multi-group fabric (demo / soak / migrate)",
+    )
+    fabric.add_argument("mode", choices=("demo", "soak", "migrate"),
+                        help="scripted shard demo, seeded many-group "
+                             "soak, or live-migration walkthrough")
+    fabric.add_argument("--seed", type=int, default=7)
+    fabric.add_argument("--groups", type=int, default=16,
+                        help="groups in the soak")
+    fabric.add_argument("--shards", type=int, default=4,
+                        help="shard hosts in the soak")
+    fabric.add_argument("--duration", type=float, default=40.0,
+                        help="virtual seconds of soak workload")
+    fabric.add_argument("--telemetry", metavar="PATH",
+                        help="export the soak's event stream as JSONL")
+    fabric.set_defaults(func=_cmd_fabric)
     return parser
 
 

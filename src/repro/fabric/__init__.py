@@ -1,0 +1,52 @@
+"""The enclave fabric: many groups, sharded managers, one directory.
+
+The paper's §7 programme ("replace the single leader by a distributed
+set of group managers") continues here at the *service* level: a
+directory places independent enclave groups onto a pool of shard
+hosts, each shard runs many :class:`~repro.enclaves.itgm.leader.\
+GroupLeader` instances behind one endpoint (journaled per group), and
+groups migrate live between shards.  Every §5 safety property stays
+per (user, leader, group); the scale harness re-asserts them
+fabric-wide plus the new isolation property — no frame or key ever
+crosses groups.
+
+* :mod:`~repro.fabric.directory` — placement + versioned routing.
+* :mod:`~repro.fabric.shard` — multi-group hosting and frame demux.
+* :mod:`~repro.fabric.member` — a member that follows the directory.
+* :mod:`~repro.fabric.migration` — live shard-to-shard group moves.
+* :mod:`~repro.fabric.balancer` — metrics-driven rebalance proposals.
+* :mod:`~repro.fabric.scale` — the seeded many-group soak harness.
+"""
+
+from repro.fabric.balancer import MigrationProposal, RebalancePolicy
+from repro.fabric.directory import GroupDirectory, GroupRecord, HashRing, RouteResult
+from repro.fabric.member import FabricMember
+from repro.fabric.migration import (
+    MigrationDemo,
+    MigrationReport,
+    migrate_group,
+    rehost_cold,
+    run_migration_demo,
+)
+from repro.fabric.scale import FabricConfig, FabricReport, run_fabric_soak
+from repro.fabric.shard import ShardHost, ShardStats
+
+__all__ = [
+    "GroupDirectory",
+    "GroupRecord",
+    "HashRing",
+    "RouteResult",
+    "ShardHost",
+    "ShardStats",
+    "FabricMember",
+    "MigrationDemo",
+    "MigrationReport",
+    "migrate_group",
+    "rehost_cold",
+    "run_migration_demo",
+    "RebalancePolicy",
+    "MigrationProposal",
+    "FabricConfig",
+    "FabricReport",
+    "run_fabric_soak",
+]

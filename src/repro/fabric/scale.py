@@ -1,0 +1,968 @@
+"""The many-group soak: §5 safety fabric-wide, plus isolation.
+
+Runs N independent groups placed by the directory onto M shard hosts
+over the in-memory network, under seeded churn (`sim.workload`),
+seeded network faults (`net.faults`), a live migration, and a shard
+crash with directory failover — all on the virtual-time loop, so a
+given seed replays byte-identically.
+
+What the run asserts, continuously and at the end:
+
+* **§5.4 per group** — every connected member's accepted admin list is
+  a prefix of its hosting leader's send log, group-key epochs strictly
+  increase (the same formal predicates the single-group chaos soak
+  uses, via :func:`repro.chaos.soak._member_safety`).
+* **Zero cross-group leakage** — an adversary task actively rewraps
+  one group's sealed traffic toward other shards (existing group id →
+  dies on the foreign group's key; fabricated group id → rejected by
+  the demux) and the run requires every attempt to be rejected, loudly,
+  with the rejections visible in telemetry.  Independently, every
+  application payload a member accepts must carry its own group's tag.
+* **Reconvergence** — after the fault windows heal, every member that
+  wants to be joined is connected to the leader *currently* hosting
+  its group (post-migration, post-crash placement), holds that
+  leader's current group key, and has an empty admin outbox.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.chaos.loop import LoopClock, run_virtual
+from repro.chaos.soak import _member_safety
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import (
+    AppMessage,
+    Joined,
+    RekeyPolicy,
+    UserDirectory,
+)
+from repro.enclaves.itgm.leader import LeaderConfig
+from repro.enclaves.itgm.member import MemberState
+from repro.exceptions import ConnectionClosed, StateError
+from repro.fabric.balancer import RebalancePolicy
+from repro.fabric.directory import GroupDirectory
+from repro.fabric.member import FabricMember
+from repro.fabric.migration import migrate_group, rehost_cold
+from repro.fabric.shard import ShardHost
+from repro.net.adversary import Adversary
+from repro.net.faults import FaultPlan
+from repro.net.memnet import MemoryNetwork
+from repro.sim.workload import ChurnWorkload, WorkloadKind
+from repro.storage.recovery import replay_records
+from repro.storage.simdisk import SimDisk
+from repro.telemetry.events import (
+    EventBus,
+    ForeignGroupRejected,
+    GroupRedirected,
+    ShardFailed,
+    frame_id,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.wire.message import Envelope, wrap_group
+
+
+@dataclass
+class FabricConfig:
+    """One seeded fabric soak scenario."""
+
+    seed: int = 7
+    n_groups: int = 16
+    n_shards: int = 4
+    members_per_group: int = 3
+    duration: float = 40.0
+    #: Per-group churn (aggregate join arrivals/s and mean session).
+    churn_join_rate: float = 0.35
+    churn_mean_session: float = 6.0
+    #: Fraction of the duration during which churn events may fire;
+    #: after the horizon every member is mustered back in so the
+    #: convergence check covers the full fabric.
+    churn_horizon: float = 0.55
+    app_interval: float = 1.0
+    cross_post_interval: float = 1.5
+    #: Network fault windows (None disables).
+    loss_window: tuple[float, float] | None = None
+    drop_rate: float = 0.12
+    duplicate_rate: float = 0.04
+    delay_window: tuple[float, float] | None = None
+    delay_rate: float = 0.2
+    max_hold: float = 0.3
+    #: Fabric lifecycle events (None disables).
+    migrate_at: float | None = None
+    rebalance_at: float | None = None
+    crash_shard_at: float | None = None
+    #: Timers.
+    tick_interval: float = 0.25
+    heartbeat_interval: float = 0.5
+    monitor_interval: float = 0.5
+    watchdog_timeout: float = 2.5
+    retransmit_interval: float = 0.5
+    converge_timeout: float = 20.0
+    journal_fsync_every: int = 1
+    vnodes: int = 16
+
+    @classmethod
+    def full(cls, seed: int = 7, **overrides) -> "FabricConfig":
+        """The everything-on scenario used by CLI soak and the tests."""
+        base = dict(
+            seed=seed,
+            loss_window=(4.0, 12.0),
+            delay_window=(4.0, 12.0),
+            migrate_at=14.0,
+            rebalance_at=17.0,
+            crash_shard_at=19.0,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass
+class FabricReport:
+    """Outcome of one fabric soak run."""
+
+    seed: int
+    duration: float
+    n_groups: int
+    n_shards: int
+    n_members: int
+    converged: bool
+    converge_time: float | None
+    n_desired: int
+    n_converged: int
+    violations: list[str]
+    #: Adversarial cross-posting: every attempt must be rejected.
+    cross_post_attempts: int
+    cross_post_rejected: int
+    foreign_post_attempts: int
+    foreign_post_rejected: int
+    #: Payloads accepted by members of the wrong group (must be 0).
+    cross_group_deliveries: int
+    app_delivered: int
+    redirects: int
+    rejoins: int
+    migrations: list[dict]
+    #: Virtual seconds from the directory flip until every desired
+    #: member of the migrated group reconnected (None = no migration
+    #: or it never reconverged).
+    migration_downtime: float | None
+    rebalance_proposals: list[str]
+    crashed_shard: str | None
+    regrouped: int
+    directory_version: int
+    placements: dict[str, str]
+    metrics: dict
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+    @property
+    def isolated(self) -> bool:
+        """Did every cross-group attempt die loudly, with no leakage?"""
+        return (
+            self.cross_group_deliveries == 0
+            and self.cross_post_rejected == self.cross_post_attempts
+            and self.foreign_post_rejected == self.foreign_post_attempts
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"fabric soak — seed={self.seed} groups={self.n_groups} "
+            f"shards={self.n_shards} members={self.n_members} "
+            f"duration={self.duration:.0f}s",
+            "  converged          : "
+            + ("NO" if not self.converged
+               else f"yes (t={self.converge_time:.1f}s)"
+               if self.converge_time is not None else "yes"),
+            f"  members reconverged: {self.n_converged}/{self.n_desired}",
+            f"  safety violations  : {len(self.violations)}",
+        ]
+        for violation in self.violations[:8]:
+            lines.append(f"    ! {violation}")
+        lines.append(
+            f"  cross-group posts  : {self.cross_post_attempts} attempted, "
+            f"{self.cross_post_rejected} rejected on the foreign key"
+        )
+        lines.append(
+            f"  phantom-group posts: {self.foreign_post_attempts} attempted, "
+            f"{self.foreign_post_rejected} rejected by the demux"
+        )
+        lines.append(
+            f"  cross-group leaks  : {self.cross_group_deliveries}"
+        )
+        lines.append(
+            f"  app delivered      : {self.app_delivered}"
+            f"  redirects: {self.redirects}  rejoins: {self.rejoins}"
+        )
+        for migration in self.migrations:
+            lines.append(
+                f"  migration          : {migration['group']} "
+                f"{migration['source']} -> {migration['target']} "
+                f"(seq {migration['record_seq']}, {migration['kind']})"
+            )
+        if self.migration_downtime is not None:
+            lines.append(
+                f"  migration downtime : {self.migration_downtime:.2f}s "
+                "virtual (flip -> members rejoined)"
+            )
+        for proposal in self.rebalance_proposals:
+            lines.append(f"  rebalance proposal : {proposal}")
+        if self.crashed_shard is not None:
+            lines.append(
+                f"  shard crash        : {self.crashed_shard} "
+                f"({self.regrouped} groups re-homed by the directory)"
+            )
+        lines.append(
+            f"  directory version  : {self.directory_version}"
+        )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+# -- runtimes ----------------------------------------------------------------
+
+
+class _ShardRuntime:
+    """Pumps one :class:`ShardHost` over one network endpoint."""
+
+    def __init__(self, host: ShardHost, endpoint, config: FabricConfig) -> None:
+        self.host = host
+        self.endpoint = endpoint
+        self.config = config
+        self.alive = True
+        self._tasks: list[asyncio.Task] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._recv_loop()),
+            loop.create_task(self._timer_loop()),
+        ]
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                envelope = await self.endpoint.recv()
+                outgoing, _events = self.host.handle(envelope)
+                for out in outgoing:
+                    await self.endpoint.send(out)
+        except (ConnectionClosed, asyncio.CancelledError):
+            pass
+
+    async def _timer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        last_heartbeat = loop.time()
+        try:
+            while True:
+                await asyncio.sleep(self.config.tick_interval)
+                for out in self.host.tick_all():
+                    await self.endpoint.send(out)
+                if (loop.time() - last_heartbeat
+                        >= self.config.heartbeat_interval):
+                    last_heartbeat = loop.time()
+                    for out in self.host.heartbeats():
+                        await self.endpoint.send(out)
+        except (ConnectionClosed, asyncio.CancelledError):
+            pass
+
+    async def crash(self) -> None:
+        """Power-cut the host: tasks die, endpoint detaches, disk drops
+        its unsynced tail (with ``fsync_every=1`` there is none)."""
+        self.alive = False
+        await self._cancel()
+        await self.endpoint.close()
+        self.host.disk.crash(keep="none")
+
+    async def stop(self) -> None:
+        await self._cancel()
+        if self.alive:
+            await self.endpoint.close()
+
+    async def _cancel(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+
+
+class _MemberRuntime:
+    """Drives one :class:`FabricMember` with join/leave intent, a
+    retransmission timer, and a liveness watchdog."""
+
+    def __init__(
+        self, fm: FabricMember, endpoint, config: FabricConfig
+    ) -> None:
+        self.fm = fm
+        self.endpoint = endpoint
+        self.config = config
+        self.desired = False
+        self.pending_leave = False
+        self.last_heard = 0.0
+        self.last_attempt = 0.0
+        self.joined_at: float | None = None
+        #: Application payloads accepted this run (cross-group audit).
+        self.received: list[bytes] = []
+        self._tasks: list[asyncio.Task] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._recv_loop()),
+            loop.create_task(self._drive_loop()),
+        ]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        await self.endpoint.close()
+
+    async def _send_all(self, frames: list[Envelope]) -> None:
+        for frame in frames:
+            await self.endpoint.send(frame)
+
+    # -- intent --------------------------------------------------------------
+
+    async def want_join(self) -> None:
+        self.desired = True
+        self.pending_leave = False
+        if self.fm.state is MemberState.NOT_CONNECTED:
+            await self._begin_join()
+
+    async def want_leave(self) -> None:
+        if self.fm.connected:
+            self.desired = False
+            await self.endpoint.send(self.fm.start_leave())
+        elif self.fm.state is MemberState.WAITING_FOR_KEY and self.desired:
+            # Mid-handshake: finish the join, then leave — abandoning a
+            # half-open attempt would strand leader-side session state.
+            self.pending_leave = True
+        else:
+            self.desired = False
+
+    async def _begin_join(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.last_attempt = loop.time()
+        try:
+            await self._send_all(self.fm.start_join())
+        except StateError:
+            pass
+
+    # -- loops ---------------------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                envelope = await self.endpoint.recv()
+                self.last_heard = loop.time()
+                outgoing, events = self.fm.handle(envelope)
+                await self._send_all(outgoing)
+                for event in events:
+                    if isinstance(event, Joined):
+                        self.joined_at = loop.time()
+                        if self.pending_leave:
+                            self.pending_leave = False
+                            self.desired = False
+                            await self.endpoint.send(self.fm.start_leave())
+                    elif isinstance(event, AppMessage):
+                        self.received.append(event.payload)
+        except (ConnectionClosed, asyncio.CancelledError):
+            pass
+
+    async def _drive_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        interval = self.config.retransmit_interval
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                if not self.desired:
+                    continue
+                now = loop.time()
+                state = self.fm.state
+                if state is MemberState.NOT_CONNECTED:
+                    await self._begin_join()
+                elif state is MemberState.WAITING_FOR_KEY:
+                    if now - self.last_attempt >= interval:
+                        self.last_attempt = now
+                        await self._send_all(self.fm.retransmit_last())
+                elif now - self.last_heard > self.config.watchdog_timeout:
+                    # Connected but silent past the liveness horizon:
+                    # assume our leader-side session is gone (crash,
+                    # migration) and re-authenticate from scratch.
+                    self.fm.reset_for_rejoin()
+                    self.last_heard = now
+                    await self._begin_join()
+        except (ConnectionClosed, asyncio.CancelledError):
+            pass
+
+
+# -- the soak ----------------------------------------------------------------
+
+
+async def _run_fabric(
+    config: FabricConfig, telemetry: EventBus | None
+) -> FabricReport:
+    loop = asyncio.get_running_loop()
+    rng = DeterministicRandom(config.seed)
+    registry = MetricsRegistry()
+    violations: list[str] = []
+    notes: list[str] = []
+
+    # Always run over a live bus: the isolation assertions count
+    # rejections *as observed in telemetry*, not via side channels.
+    bus = telemetry if telemetry is not None else EventBus()
+    bus.set_clock(LoopClock(loop))
+
+    counts = {
+        "foreign_rejected": 0,
+        "cross_rejected": 0,
+        "redirects": 0,
+        "shard_failures": 0,
+    }
+    evil_frames: set[str] = set()
+
+    def observe(record) -> None:
+        event = record.event
+        if isinstance(event, ForeignGroupRejected):
+            counts["foreign_rejected"] += 1
+        elif isinstance(event, GroupRedirected):
+            counts["redirects"] += 1
+        elif isinstance(event, ShardFailed):
+            counts["shard_failures"] += 1
+        elif getattr(event, "frame", None) in evil_frames:
+            # Any rejection family will do (integrity for the foreign
+            # seal, state for a non-member sender) — what matters is
+            # that the forged frame's id shows up rejected at all.
+            counts["cross_rejected"] += 1
+
+    bus.subscribe(observe)
+
+    # -- topology ------------------------------------------------------------
+
+    shard_ids = [f"shard-{i}" for i in range(config.n_shards)]
+    group_ids = [f"grp-{i:02d}" for i in range(config.n_groups)]
+    fabric = GroupDirectory(
+        shard_ids, vnodes=config.vnodes,
+        rng=rng.fork("directory"), telemetry=bus,
+    )
+
+    net = MemoryNetwork(telemetry=bus)
+    adversary = Adversary(telemetry=bus)
+    net.attach_adversary(adversary)
+    plan = FaultPlan(seed=config.seed)
+    if config.loss_window is not None:
+        plan.loss(*config.loss_window, drop_rate=config.drop_rate,
+                  duplicate_rate=config.duplicate_rate)
+    if config.delay_window is not None:
+        plan.delay(*config.delay_window, min_hold=0.05,
+                   max_hold=config.max_hold, delay_rate=config.delay_rate)
+    adversary.set_policy(plan.as_policy(loop.time, telemetry=bus))
+
+    leader_config = LeaderConfig(
+        rekey_policy=RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE,
+    )
+    shards: dict[str, _ShardRuntime] = {}
+    for shard_id in shard_ids:
+        disk = SimDisk(rng=rng.fork(f"disk-{shard_id}"))
+        host = ShardHost(
+            shard_id, disk,
+            rng=rng.fork(f"host-{shard_id}"),
+            clock=LoopClock(loop),
+            telemetry=bus,
+            fsync_every=config.journal_fsync_every,
+        )
+        endpoint = await net.attach(shard_id)
+        shards[shard_id] = _ShardRuntime(host, endpoint, config)
+
+    users: dict[str, UserDirectory] = {}
+    members: dict[str, dict[str, _MemberRuntime]] = {}
+    for group_id in group_ids:
+        record = fabric.create_group(group_id)
+        directory = UserDirectory()
+        users[group_id] = directory
+        members[group_id] = {}
+        for j in range(config.members_per_group):
+            uid = f"{group_id}.u{j}"
+            creds = directory.register_password(uid, f"pw-{uid}")
+            fm = FabricMember(
+                creds, group_id, fabric,
+                rng=rng.fork(uid), telemetry=bus,
+            )
+            endpoint = await net.attach(uid)
+            members[group_id][uid] = _MemberRuntime(fm, endpoint, config)
+        shards[record.shard_id].host.host_group(
+            group_id, directory,
+            storage_key=record.storage_key,
+            config=leader_config,
+        )
+
+    for runtime in shards.values():
+        runtime.start()
+    for group in members.values():
+        for runtime in group.values():
+            runtime.start()
+
+    def hosting(group_id: str):
+        """The live (host, leader) currently serving a group, or None."""
+        shard_id = fabric.record(group_id).shard_id
+        runtime = shards[shard_id]
+        if not runtime.alive or not runtime.host.hosts(group_id):
+            return None
+        return runtime.host.leader(group_id)
+
+    # -- continuous safety ---------------------------------------------------
+
+    def sample_safety() -> None:
+        for group_id, group in members.items():
+            leader = hosting(group_id)
+            if leader is None:
+                continue
+            in_session = set(leader.members)
+            for uid, runtime in group.items():
+                if not runtime.fm.connected or uid not in in_session:
+                    # §5.4 is a property of one *live* session.  A member
+                    # still holding a session with a previous incarnation
+                    # of a migrated / re-homed group has no counterpart
+                    # log at the current leader; it is about to be
+                    # redirected into a fresh session, which will then be
+                    # sampled.  (Mirrors the chaos soak, which samples
+                    # against ``supervisor.active`` — the incarnation the
+                    # session is actually with.)
+                    continue
+                violations.extend(_member_safety(
+                    uid, group_id,
+                    list(runtime.fm.protocol.admin_log),
+                    leader.admin_send_log(uid),
+                ))
+
+    async def monitor() -> None:
+        while True:
+            await asyncio.sleep(config.monitor_interval)
+            sample_safety()
+
+    # -- workloads -----------------------------------------------------------
+
+    churn_until = config.churn_horizon * config.duration
+
+    async def churn(group_id: str) -> None:
+        workload = ChurnWorkload(
+            sorted(members[group_id]),
+            join_rate=config.churn_join_rate,
+            mean_session=config.churn_mean_session,
+            seed=int.from_bytes(
+                rng.fork(f"churn-{group_id}").random_bytes(4), "big"
+            ),
+        )
+        for event in workload.events(churn_until):
+            delay = event.time - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            runtime = members[group_id][event.user_id]
+            if event.kind is WorkloadKind.JOIN:
+                registry.counter("fabric_joins", group=group_id).incr()
+                await runtime.want_join()
+            elif event.kind is WorkloadKind.LEAVE:
+                await runtime.want_leave()
+
+    async def muster() -> None:
+        """Bring every member (back) in after the churn horizon, so the
+        end-of-run convergence check spans the whole fabric."""
+        delay = churn_until + 1.0 - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        for group in members.values():
+            for runtime in group.values():
+                if not runtime.desired:
+                    await runtime.want_join()
+
+    app_sent = 0
+
+    async def app_traffic() -> None:
+        nonlocal app_sent
+        round_no = 0
+        while True:
+            await asyncio.sleep(config.app_interval)
+            round_no += 1
+            for group_id, group in members.items():
+                for uid, runtime in group.items():
+                    if not runtime.fm.connected:
+                        continue
+                    payload = f"{group_id}|{uid}|r{round_no}".encode()
+                    try:
+                        await runtime.endpoint.send(
+                            runtime.fm.seal_app(payload)
+                        )
+                    except StateError:
+                        pass
+
+    # -- the adversary: active cross-posting ---------------------------------
+
+    cross_attempts = 0
+    foreign_attempts = 0
+    lifecycle_busy = asyncio.Lock()
+
+    async def cross_poster() -> None:
+        """Rewrap one group's sealed frame for another group's shard.
+
+        Injected via ``deliver_raw`` (bypassing the fault policy), so
+        every attempt reaches a shard and the report can demand
+        attempts == rejections exactly.
+        """
+        nonlocal cross_attempts, foreign_attempts
+        turn = 0
+        while True:
+            await asyncio.sleep(config.cross_post_interval)
+            async with lifecycle_busy:
+                turn += 1
+                src = group_ids[turn % len(group_ids)]
+                dst = group_ids[(turn + 1) % len(group_ids)]
+                sender = next(
+                    (
+                        r for r in members[src].values()
+                        if r.fm.connected and r.fm.protocol.has_group_key
+                    ),
+                    None,
+                )
+                leader = hosting(dst)
+                if sender is None or leader is None:
+                    continue
+                # A sealed frame from src's key space, readdressed to
+                # dst's leader: the demux routes it, dst's key kills it.
+                legit = sender.fm.protocol.seal_app(
+                    f"LEAK|{src}|{turn}".encode()
+                )
+                forged = Envelope(
+                    legit.label, legit.sender, dst, legit.body
+                )
+                evil_frames.add(frame_id(forged))
+                cross_attempts += 1
+                await net.deliver_raw(wrap_group(
+                    dst, forged, fabric.record(dst).shard_id
+                ))
+                # And a frame scoped to a group id nobody hosts.
+                phantom = wrap_group(
+                    "grp-phantom", legit, fabric.record(dst).shard_id
+                )
+                foreign_attempts += 1
+                await net.deliver_raw(phantom)
+
+    # -- fabric lifecycle events ---------------------------------------------
+
+    migrations: list[dict] = []
+    migration_downtime: float | None = None
+    rebalance_lines: list[str] = []
+    crashed_shard: str | None = None
+    regrouped = 0
+
+    async def do_migration(group_id: str, kind: str) -> dict | None:
+        source_id = fabric.record(group_id).shard_id
+        source = shards[source_id]
+        target_id = min(
+            (s for s in fabric.shard_ids if s != source_id),
+            key=lambda s: (len(fabric.groups_on(s)), s),
+        )
+        target = shards[target_id]
+        if not (source.alive and target.alive):
+            return None
+        _leader, report = migrate_group(
+            fabric, source.host, target.host, group_id,
+            users[group_id],
+            config=leader_config,
+            rng=rng.fork(f"migrate-{group_id}"),
+            telemetry=bus,
+        )
+        entry = {
+            "group": group_id,
+            "source": report.source,
+            "target": report.target,
+            "record_seq": report.record_seq,
+            "old_fingerprint": report.old_fingerprint,
+            "kind": kind,
+        }
+        migrations.append(entry)
+        return entry
+
+    async def wait_group_converged(group_id: str, timeout: float) -> bool:
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            leader = hosting(group_id)
+            if leader is not None:
+                fingerprint = leader.group_key_fingerprint
+                wanted = [
+                    r for r in members[group_id].values() if r.desired
+                ]
+                if wanted and all(
+                    r.fm.connected
+                    and r.fm.protocol.group_key_fingerprint == fingerprint
+                    for r in wanted
+                ):
+                    return True
+            await asyncio.sleep(0.25)
+        return False
+
+    async def lifecycle() -> None:
+        nonlocal migration_downtime, crashed_shard, regrouped
+        events: list[tuple[float, str]] = []
+        if config.migrate_at is not None:
+            events.append((config.migrate_at, "migrate"))
+        if config.rebalance_at is not None:
+            events.append((config.rebalance_at, "rebalance"))
+        if config.crash_shard_at is not None:
+            events.append((config.crash_shard_at, "crash"))
+        for at, kind in sorted(events):
+            delay = at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            async with lifecycle_busy:
+                if kind == "migrate":
+                    # Deterministic choice: the first group on the most
+                    # loaded shard (ties by shard id).
+                    load = fabric.load()
+                    busiest = max(
+                        sorted(load), key=lambda s: (load[s], s)
+                    )
+                    group_id = fabric.groups_on(busiest)[0]
+                    flip = loop.time()
+                    moved = await do_migration(group_id, "explicit")
+                    if moved and await wait_group_converged(
+                        group_id, config.converge_timeout
+                    ):
+                        migration_downtime = loop.time() - flip
+                elif kind == "rebalance":
+                    # Publish join rates, then let the policy speak.
+                    for group_id in group_ids:
+                        joins = registry.counter(
+                            "fabric_joins", group=group_id
+                        ).value
+                        registry.gauge(
+                            "fabric_join_rate", group=group_id
+                        ).set(joins / max(loop.time(), 1.0))
+                    policy = RebalancePolicy(
+                        min_gap=0.5, max_proposals=1,
+                        rng=rng.fork("balancer"),
+                    )
+                    proposals = policy.propose(fabric, registry)
+                    for proposal in proposals:
+                        rebalance_lines.append(
+                            f"{proposal.group_id}: {proposal.source} -> "
+                            f"{proposal.target} ({proposal.reason})"
+                        )
+                        await do_migration(proposal.group_id, "rebalance")
+                elif kind == "crash":
+                    load = fabric.load()
+                    victims = [
+                        s for s in sorted(load) if shards[s].alive
+                    ]
+                    if len(victims) < 2:
+                        continue
+                    victim = max(victims, key=lambda s: (load[s], s))
+                    crashed_shard = victim
+                    runtime = shards[victim]
+                    n_groups = len(runtime.host.groups)
+                    keys = {
+                        g: fabric.storage_key(g)
+                        for g in runtime.host.groups
+                    }
+                    paths = {
+                        g: runtime.host.journal_path(g)
+                        for g in runtime.host.groups
+                    }
+                    await runtime.crash()
+                    bus.emit(ShardFailed(victim, n_groups))
+                    # Directory failover: entries re-point to survivors,
+                    # then each group is re-hosted from its durable
+                    # journal prefix.
+                    moved = fabric.fail_shard(victim)
+                    regrouped = len(moved)
+                    runtime.host.disk.restart()
+                    for group_id in moved:
+                        data = runtime.host.disk.read(paths[group_id])
+                        result = replay_records(data, keys[group_id])
+                        new_home = shards[fabric.record(group_id).shard_id]
+                        new_home.host.host_group(
+                            group_id, users[group_id],
+                            storage_key=keys[group_id],
+                            config=leader_config,
+                            state=rehost_cold(result.state),
+                            start_seq=result.last_seq + 1,
+                            rng=rng.fork(f"rehost-{group_id}"),
+                        )
+
+    tasks = [
+        loop.create_task(monitor()),
+        loop.create_task(app_traffic()),
+        loop.create_task(cross_poster()),
+        loop.create_task(muster()),
+        loop.create_task(lifecycle()),
+    ] + [
+        loop.create_task(churn(group_id)) for group_id in group_ids
+    ]
+
+    await asyncio.sleep(config.duration - loop.time())
+    # Stop the noise (workload + adversary); let recovery finish.
+    for task in tasks[1:3]:
+        task.cancel()
+
+    # -- convergence ---------------------------------------------------------
+
+    def converged_now() -> tuple[bool, int, int]:
+        desired = 0
+        good = 0
+        for group_id, group in members.items():
+            leader = hosting(group_id)
+            fingerprint = (
+                leader.group_key_fingerprint if leader else None
+            )
+            for uid, runtime in group.items():
+                if not runtime.desired:
+                    continue
+                desired += 1
+                if (
+                    leader is not None
+                    and runtime.fm.connected
+                    and runtime.fm.protocol.group_key_fingerprint
+                    == fingerprint
+                    and leader.outbox_depth(uid) == 0
+                ):
+                    good += 1
+        return good == desired, desired, good
+
+    converge_time: float | None = None
+    deadline = loop.time() + config.converge_timeout
+    while loop.time() < deadline:
+        done, _desired, _good = converged_now()
+        if done:
+            converge_time = loop.time()
+            break
+        await asyncio.sleep(0.25)
+    converged, n_desired, n_converged = converged_now()
+    sample_safety()
+    if not converged:
+        # Name the stragglers — a soak that fails to converge should say
+        # exactly who is stuck and how.
+        for group_id, group in sorted(members.items()):
+            leader = hosting(group_id)
+            for uid, runtime in sorted(group.items()):
+                if not runtime.desired:
+                    continue
+                fp = runtime.fm.protocol.group_key_fingerprint
+                want = leader.group_key_fingerprint if leader else None
+                depth = leader.outbox_depth(uid) if leader else -1
+                if (
+                    leader is None or not runtime.fm.connected
+                    or fp != want or depth != 0
+                ):
+                    notes.append(
+                        f"stuck: {uid} state={runtime.fm.state.name} "
+                        f"key={fp} want={want} outbox={depth} "
+                        f"leader={'up' if leader else 'DOWN'}"
+                    )
+
+    for task in tasks:
+        task.cancel()
+    for task in tasks:
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    # -- isolation audit -----------------------------------------------------
+
+    app_delivered = 0
+    cross_deliveries = 0
+    rejoins = 0
+    redirect_total = 0
+    for group_id, group in members.items():
+        for uid, runtime in group.items():
+            rejoins += runtime.fm.rejoins
+            redirect_total += runtime.fm.redirects
+            for payload in runtime.received:
+                parts = payload.split(b"|")
+                if len(parts) != 3:
+                    continue  # heartbeat beacons etc.
+                app_delivered += 1
+                if parts[0].decode() != group_id:
+                    cross_deliveries += 1
+                    violations.append(
+                        f"{uid}: accepted cross-group payload "
+                        f"{payload[:40]!r}"
+                    )
+
+    for group in members.values():
+        for runtime in group.values():
+            await runtime.stop()
+    for runtime in shards.values():
+        await runtime.stop()
+    bus.unsubscribe(observe)
+
+    if counts["cross_rejected"] != cross_attempts:
+        violations.append(
+            f"cross-post rejections {counts['cross_rejected']} != "
+            f"attempts {cross_attempts} (a forged frame went unanswered)"
+        )
+    if counts["foreign_rejected"] != foreign_attempts:
+        violations.append(
+            f"phantom-group rejections {counts['foreign_rejected']} != "
+            f"attempts {foreign_attempts}"
+        )
+
+    for shard_id, runtime in shards.items():
+        stats = runtime.host.stats
+        registry.counter("fabric_frames", shard=shard_id).incr(
+            stats.frames_in
+        )
+        registry.counter("fabric_redirects", shard=shard_id).incr(
+            stats.redirected
+        )
+    registry.gauge("fabric_directory_version").set(fabric.version)
+
+    return FabricReport(
+        seed=config.seed,
+        duration=config.duration,
+        n_groups=config.n_groups,
+        n_shards=config.n_shards,
+        n_members=config.n_groups * config.members_per_group,
+        converged=converged,
+        converge_time=converge_time,
+        n_desired=n_desired,
+        n_converged=n_converged,
+        violations=sorted(set(violations)),
+        cross_post_attempts=cross_attempts,
+        cross_post_rejected=counts["cross_rejected"],
+        foreign_post_attempts=foreign_attempts,
+        foreign_post_rejected=counts["foreign_rejected"],
+        cross_group_deliveries=cross_deliveries,
+        app_delivered=app_delivered,
+        redirects=counts["redirects"],
+        rejoins=rejoins,
+        migrations=migrations,
+        migration_downtime=migration_downtime,
+        rebalance_proposals=rebalance_lines,
+        crashed_shard=crashed_shard,
+        regrouped=regrouped,
+        directory_version=fabric.version,
+        placements=fabric.placements(),
+        metrics=registry.snapshot(),
+        notes=notes,
+    )
+
+
+def run_fabric_soak(
+    config: FabricConfig | None = None,
+    telemetry: EventBus | None = None,
+) -> FabricReport:
+    """Run one fabric soak deterministically on the virtual clock."""
+    config = config if config is not None else FabricConfig.full()
+    return run_virtual(_run_fabric(config, telemetry))

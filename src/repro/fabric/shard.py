@@ -1,0 +1,304 @@
+"""One shard host: many group leaders behind a single endpoint.
+
+A :class:`ShardHost` demultiplexes ``GROUP_WRAP`` frames by the group id
+carried in the wrapper and hands the inner envelope to the hosted
+:class:`~repro.enclaves.itgm.leader.GroupLeader` for that group.  Each
+hosted group gets its *own* write-ahead journal (its own file, its own
+storage key) via the unchanged :mod:`repro.storage.journal` API — groups
+stay independent failure and recovery domains even when co-hosted.
+
+The demux layer enforces the fabric's isolation stance:
+
+* A frame scoped to a group this shard does not host is **rejected
+  loudly** (:class:`~repro.telemetry.events.ForeignGroupRejected` plus a
+  :class:`~repro.enclaves.common.Rejected` event) — never silently
+  dropped, never guessed into another group.
+* A frame scoped to a group that *moved away* is answered with a
+  ``GROUP_REDIRECT`` naming the group, so a member routing on a stale
+  directory version learns to re-consult the directory instead of
+  mistaking the silence for a dead leader.
+* The group id in the wrapper is routing metadata, not authentication:
+  a cross-posted frame rewrapped under another group's id reaches that
+  group's leader and dies on its seals, exactly like any forged frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyMaterial
+from repro.crypto.rng import RandomSource
+from repro.enclaves.common import Event, Rejected, UserDirectory
+from repro.enclaves.itgm.leader import GroupLeader, LeaderConfig
+from repro.enclaves.itgm.persistence import restore_leader
+from repro.exceptions import CodecError, StateError
+from repro.storage.journal import Journal
+from repro.telemetry.events import (
+    EventBus,
+    ForeignGroupRejected,
+    FrameRejected,
+    GroupHosted,
+    GroupRedirected,
+    frame_id,
+)
+from repro.util.clock import Clock
+from repro.wire.codec import decode_fields, decode_str, encode_fields, encode_str
+from repro.wire.labels import Label
+from repro.wire.message import Envelope, unwrap_group
+
+
+def redirect_envelope(
+    shard_id: str, member: str, group_id: str, target: str | None
+) -> Envelope:
+    """A shard's answer for a group it no longer serves.
+
+    ``target`` names the new shard when the sender knows it (a completed
+    move), or ``None`` when the member must re-consult the directory
+    (mid-quiesce, or the shard only knows the group left).
+    """
+    return Envelope(
+        label=Label.GROUP_REDIRECT,
+        sender=shard_id,
+        recipient=member,
+        body=encode_fields(
+            [encode_str(group_id), encode_str(target or "")]
+        ),
+    )
+
+
+def parse_redirect(envelope: Envelope) -> tuple[str, str | None]:
+    """``(group id, new shard or None)`` from a GROUP_REDIRECT frame."""
+    if envelope.label is not Label.GROUP_REDIRECT:
+        raise CodecError(
+            f"expected GROUP_REDIRECT, got {envelope.label.name}"
+        )
+    group_b, target_b = decode_fields(envelope.body, expect=2)
+    target = decode_str(target_b)
+    return decode_str(group_b), (target or None)
+
+
+@dataclass
+class ShardStats:
+    """Demux counters (the balancer and soak assertions read these)."""
+
+    frames_in: int = 0
+    delivered: int = 0
+    redirected: int = 0
+    foreign_rejected: int = 0
+    malformed: int = 0
+
+
+@dataclass
+class _Hosted:
+    leader: GroupLeader
+    journal: Journal
+    quiesced: bool = False
+
+
+class ShardHost:
+    """Sans-IO multi-group host: ``handle(envelope) -> (out, events)``."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        disk,
+        *,
+        rng: RandomSource | None = None,
+        clock: Clock | None = None,
+        telemetry: EventBus | None = None,
+        fsync_every: int = 1,
+        compact_threshold: int | None = 64,
+    ) -> None:
+        self.shard_id = shard_id
+        self.disk = disk
+        self._rng = rng
+        self._clock = clock
+        self._telemetry = telemetry
+        self._fsync_every = fsync_every
+        self._compact_threshold = compact_threshold
+        self._hosted: dict[str, _Hosted] = {}
+        #: Groups that moved away: ``group id -> new shard or None``.
+        self._departed: dict[str, str | None] = {}
+        self.stats = ShardStats()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def groups(self) -> list[str]:
+        return sorted(self._hosted)
+
+    def hosts(self, group_id: str) -> bool:
+        return group_id in self._hosted
+
+    def leader(self, group_id: str) -> GroupLeader:
+        return self._entry(group_id).leader
+
+    def journal(self, group_id: str) -> Journal:
+        return self._entry(group_id).journal
+
+    def journal_path(self, group_id: str) -> str:
+        """The per-group journal file name on this shard's disk."""
+        return f"{group_id}.wal"
+
+    def _entry(self, group_id: str) -> _Hosted:
+        entry = self._hosted.get(group_id)
+        if entry is None:
+            raise StateError(
+                f"shard {self.shard_id!r} does not host {group_id!r}"
+            )
+        return entry
+
+    def host_group(
+        self,
+        group_id: str,
+        users: UserDirectory,
+        *,
+        storage_key: KeyMaterial,
+        config: LeaderConfig | None = None,
+        state: dict | None = None,
+        start_seq: int = 0,
+        rng: RandomSource | None = None,
+    ) -> GroupLeader:
+        """Start serving a group, journaled under its own storage key.
+
+        With ``state`` (a leader snapshot, e.g. from a migration replay
+        or a crashed shard's journal) the leader is *restored*; without,
+        a fresh one is created.  ``start_seq`` continues the journal's
+        sequence past the shipped history so replays of the whole move
+        see one gap-free record stream per group.
+        """
+        if group_id in self._hosted:
+            raise StateError(
+                f"shard {self.shard_id!r} already hosts {group_id!r}"
+            )
+        self._departed.pop(group_id, None)
+        leader_rng = rng if rng is not None else self._rng
+        if state is not None:
+            if state.get("leader_id") != group_id:
+                raise StateError(
+                    f"snapshot is for {state.get('leader_id')!r}, "
+                    f"not {group_id!r}"
+                )
+            leader = restore_leader(
+                state, users, config=config, rng=leader_rng,
+                clock=self._clock, telemetry=self._telemetry,
+            )
+        else:
+            leader = GroupLeader(
+                group_id, users, config=config, rng=leader_rng,
+                clock=self._clock, telemetry=self._telemetry,
+            )
+        journal = Journal(
+            self.disk,
+            self.journal_path(group_id),
+            storage_key,
+            fsync_every=self._fsync_every,
+            compact_threshold=self._compact_threshold,
+            rng=leader_rng,
+            node=f"{self.shard_id}/{group_id}",
+            telemetry=self._telemetry,
+        )
+        journal.attach(leader, start_seq=start_seq)
+        self._hosted[group_id] = _Hosted(leader, journal)
+        if self._telemetry:
+            self._telemetry.emit(
+                GroupHosted(self.shard_id, group_id, journal.seq)
+            )
+        return leader
+
+    def quiesce(self, group_id: str) -> None:
+        """Stop serving a group's traffic (members get redirects) while
+        its state ships; the leader object stays for checkpointing."""
+        self._entry(group_id).quiesced = True
+
+    def resume(self, group_id: str) -> None:
+        """Undo :meth:`quiesce` (an aborted migration)."""
+        self._entry(group_id).quiesced = False
+
+    def evict_group(self, group_id: str, target: str | None) -> None:
+        """Forget a group after it moved; keep a redirect breadcrumb.
+
+        The journal object is dropped but its file stays on disk —
+        history is never destroyed by an eviction, only superseded by
+        the target shard's journal.
+        """
+        self._entry(group_id)  # loud on unknown groups
+        del self._hosted[group_id]
+        self._departed[group_id] = target
+
+    # -- the demux path -----------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        """Route one wrapped frame to its hosted leader."""
+        self.stats.frames_in += 1
+        if envelope.label is not Label.GROUP_WRAP:
+            self.stats.malformed += 1
+            reason = "shard endpoint accepts only GROUP_WRAP frames"
+            self._reject_frame(envelope, reason)
+            return [], [Rejected(reason, envelope.label)]
+        try:
+            group_id, inner = unwrap_group(envelope)
+        except CodecError as exc:
+            self.stats.malformed += 1
+            reason = f"malformed group wrapper: {exc}"
+            self._reject_frame(envelope, reason)
+            return [], [Rejected(reason, envelope.label)]
+
+        entry = self._hosted.get(group_id)
+        if entry is None or entry.quiesced:
+            if entry is not None or group_id in self._departed:
+                # Known-but-not-served: a stale route.  Answer it.
+                target = (
+                    None if entry is not None
+                    else self._departed.get(group_id)
+                )
+                self.stats.redirected += 1
+                if self._telemetry:
+                    self._telemetry.emit(GroupRedirected(
+                        self.shard_id, group_id, inner.sender,
+                        target or "",
+                    ))
+                return (
+                    [redirect_envelope(
+                        self.shard_id, inner.sender, group_id, target
+                    )],
+                    [],
+                )
+            # Never ours: foreign (or fabricated) group id.
+            self.stats.foreign_rejected += 1
+            reason = f"group {group_id!r} is not hosted here"
+            if self._telemetry:
+                self._telemetry.emit(ForeignGroupRejected(
+                    self.shard_id, group_id, frame_id(envelope), reason
+                ))
+            return [], [Rejected(reason, envelope.label)]
+
+        self.stats.delivered += 1
+        return entry.leader.handle(inner)
+
+    def _reject_frame(self, envelope: Envelope, reason: str) -> None:
+        if self._telemetry:
+            self._telemetry.emit(FrameRejected(
+                self.shard_id, envelope.label.name, reason,
+                frame_id(envelope),
+            ))
+
+    # -- time-driven behaviour ----------------------------------------------
+
+    def tick_all(self) -> list[Envelope]:
+        """Advance every hosted (non-quiesced) leader's timers."""
+        out: list[Envelope] = []
+        for group_id in self.groups:
+            entry = self._hosted[group_id]
+            if not entry.quiesced:
+                out.extend(entry.leader.tick())
+        return out
+
+    def heartbeats(self) -> list[Envelope]:
+        """One liveness beacon per member, across all hosted groups."""
+        out: list[Envelope] = []
+        for group_id in self.groups:
+            entry = self._hosted[group_id]
+            if not entry.quiesced:
+                out.extend(entry.leader.heartbeat())
+        return out

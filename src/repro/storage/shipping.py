@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.crypto.keys import KeyMaterial
 from repro.crypto.rng import RandomSource
+from repro.exceptions import RecoveryError
 from repro.storage.journal import Journal
 from repro.storage.recovery import ReplayResult, replay_records
 from repro.telemetry.events import (
@@ -48,10 +49,24 @@ class JournalFollower:
         self._storage_key = storage_key
         self._base: bytes | None = None
         self._tail: list[bytes] = []
-        self.seq = -1
+        #: Highest seq the primary ever *offered* this follower.
+        self.offered_seq = -1
+        #: Highest seq actually folded into the replica.  Trails
+        #: ``offered_seq`` exactly when records had to be discarded
+        #: (deltas arriving before any base snapshot) — a replica in
+        #: that state is silently missing mutations the primary
+        #: considers shipped, and :func:`promote` refuses it.
+        self.applied_seq = -1
+
+    @property
+    def seq(self) -> int:
+        """The replica's applied head (kept for older callers)."""
+        return self.applied_seq
 
     def receive(self, record: bytes, seq: int, kind: str) -> None:
         """Ingest one framed, sealed journal record."""
+        if seq > self.offered_seq:
+            self.offered_seq = seq
         if kind == "snapshot":
             self._base = record
             self._tail = []
@@ -59,7 +74,7 @@ class JournalFollower:
             return  # deltas before any base are useless; wait for one
         else:
             self._tail.append(record)
-        self.seq = seq
+        self.applied_seq = seq
 
     @property
     def records(self) -> int:
@@ -145,8 +160,22 @@ def promote(
     logical leader, through the same address, with the same sessions.
     Raises :class:`~repro.exceptions.RecoveryError` when the replica
     has no base (nothing was ever shipped): that standby can only do a
-    cold takeover.
+    cold takeover.  Also refuses — loudly, before touching the manager
+    set — a follower whose *applied* head trails what the primary
+    shipped: such a replica dropped records (deltas offered before any
+    base reached it), so promoting it would silently roll live sessions
+    back past mutations the primary had already exposed to members.  A
+    follower that merely missed the un-shipped tail (e.g. after
+    :meth:`JournalShipper.detach`) is still promotable: nothing past
+    its applied head was ever offered to it.
     """
+    if follower.applied_seq < follower.offered_seq:
+        raise RecoveryError(
+            f"refusing to promote {follower.name!r}: applied head "
+            f"{follower.applied_seq} trails the shipped head "
+            f"{follower.offered_seq} — the replica dropped records and "
+            "a promotion would roll members back"
+        )
     result = follower.replay()
     leader = manager_set.rehost_primary(result.state, rng=rng)
     if telemetry:

@@ -399,6 +399,78 @@ class StandbyPromoted(TelemetryEvent):
     record_seq: int
 
 
+# fabric (multi-group shard hosting) -----------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class DirectoryUpdated(TelemetryEvent):
+    """The group directory changed a routing entry (``change`` is one of
+    ``create`` / ``move`` / ``delete`` / ``fail``)."""
+
+    version: int
+    group: str
+    shard: str
+    change: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class GroupHosted(TelemetryEvent):
+    """A shard started serving a group (fresh or re-hosted)."""
+
+    node: str
+    group: str
+    record_seq: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class GroupRedirected(TelemetryEvent):
+    """A shard answered a stale-routed frame with a directory redirect."""
+
+    node: str
+    group: str
+    member: str
+    target: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ForeignGroupRejected(TelemetryEvent):
+    """A shard rejected a frame scoped to a group it does not host.
+
+    The loud path for cross-posting: an adversary rewrapping group A's
+    traffic toward group B's shard lands here (unknown group id) or in
+    the hosted leader's ordinary rejection events (known group id,
+    foreign seal)."""
+
+    node: str
+    group: str
+    frame: str
+    reason: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class GroupMigrated(TelemetryEvent):
+    """A group moved shards: journal shipped, directory flipped."""
+
+    group: str
+    source: str
+    target: str
+    record_seq: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ShardFailed(TelemetryEvent):
+    """A shard host crashed; its groups need re-homing."""
+
+    node: str
+    groups: int
+
+
 # -- rejection classification ------------------------------------------------
 
 _REPLAY_MARKERS = ("replay", "stale nonce")

@@ -41,6 +41,17 @@ class Label(enum.IntEnum):
     # -- application data (relayed through the leader, both stacks) ----
     APP_DATA = 0x20
 
+    # -- fabric envelope scoping (multi-group shard hosting) -----------
+    #: A group-scoped wrapper: the body carries ``(group id, inner
+    #: envelope)`` so one shard endpoint can demultiplex frames for the
+    #: many group leaders it hosts.  The wrapper is pure routing — all
+    #: authentication still happens on the sealed inner envelope.
+    GROUP_WRAP = 0x30
+    #: A shard's answer for a group it no longer (or never) serves from
+    #: a *stale route*: re-consult the directory.  Loud by design — a
+    #: stale route must never look like a dead network.
+    GROUP_REDIRECT = 0x31
+
     @property
     def is_legacy(self) -> bool:
         return 0x10 <= self.value <= 0x1B
@@ -48,3 +59,8 @@ class Label(enum.IntEnum):
     @property
     def is_itgm(self) -> bool:
         return 0x01 <= self.value <= 0x06
+
+    @property
+    def is_fabric(self) -> bool:
+        """Group-scoped fabric framing (shard demux + redirects)."""
+        return 0x30 <= self.value <= 0x31

@@ -55,3 +55,35 @@ class Envelope:
             f"Envelope({self.label.name}, {self.sender!r}->{self.recipient!r}, "
             f"{len(self.body)}B)"
         )
+
+
+def wrap_group(group_id: str, inner: Envelope, shard: str) -> Envelope:
+    """Scope ``inner`` to one group and address it at a shard endpoint.
+
+    The wrapper carries the group id in the clear — it is routing
+    metadata, exactly like the envelope's sender/recipient claims, and
+    just as untrustworthy: the shard only uses it to pick which hosted
+    leader sees the inner envelope, and that leader still authenticates
+    the sealed content.  A frame rewrapped for a different group
+    therefore lands on a leader whose keys reject it.
+    """
+    return Envelope(
+        label=Label.GROUP_WRAP,
+        sender=inner.sender,
+        recipient=shard,
+        body=encode_fields([encode_str(group_id), inner.to_bytes()]),
+    )
+
+
+def unwrap_group(envelope: Envelope) -> tuple[str, Envelope]:
+    """Extract ``(group id, inner envelope)`` from a GROUP_WRAP frame.
+
+    Raises :class:`CodecError` on a wrong label or malformed body —
+    shards reject such frames loudly rather than guessing a group.
+    """
+    if envelope.label is not Label.GROUP_WRAP:
+        raise CodecError(
+            f"expected GROUP_WRAP, got {envelope.label.name}"
+        )
+    group_b, inner_b = decode_fields(envelope.body, expect=2)
+    return decode_str(group_b), Envelope.from_bytes(inner_b)

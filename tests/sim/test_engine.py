@@ -39,6 +39,42 @@ class TestEventQueue:
         item.cancelled = True
         assert len(queue) == 1
 
+    def test_ties_break_on_insertion_order_across_interleaving(self):
+        """Tied timestamps drain FIFO even when the insertions were
+        interleaved with other times — the sequence counter is global,
+        not per-timestamp."""
+        queue = EventQueue()
+        order = []
+        queue.schedule(5.0, lambda: order.append("t5-first"))
+        queue.schedule(1.0, lambda: order.append("t1"))
+        queue.schedule(5.0, lambda: order.append("t5-second"))
+        queue.schedule(3.0, lambda: order.append("t3"))
+        queue.schedule(5.0, lambda: order.append("t5-third"))
+        while (item := queue.pop()) is not None:
+            item.callback()
+        assert order == [
+            "t1", "t3", "t5-first", "t5-second", "t5-third"
+        ]
+
+    def test_pop_skips_cancelled_head_to_live_event(self):
+        queue = EventQueue()
+        dead = queue.schedule(1.0, lambda: None)
+        live = queue.schedule(2.0, lambda: None)
+        dead.cancelled = True
+        assert queue.pop() is live
+        assert queue.pop() is None
+
+    def test_cancel_one_of_tied_events_preserves_rest(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("a"))
+        middle = queue.schedule(1.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("c"))
+        middle.cancelled = True
+        while (item := queue.pop()) is not None:
+            item.callback()
+        assert order == ["a", "c"]
+
 
 class TestSimulator:
     def test_runs_in_order(self):
@@ -91,3 +127,68 @@ class TestSimulator:
             sim.at(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+    def test_same_time_schedule_from_callback_runs_after_tied_peers(self):
+        """A callback scheduling at the *current* timestamp runs in the
+        same pass, but after every event that was already queued for
+        that instant (its sequence number is necessarily higher)."""
+        sim = Simulator()
+        order = []
+        sim.at(1.0, lambda: (
+            order.append("first"),
+            sim.at(1.0, lambda: order.append("spawned")),
+        ))
+        sim.at(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "spawned"]
+
+    def test_cancellation_from_earlier_event(self):
+        """Cancelling a pending event from an earlier callback is the
+        timer-cancel idiom (watchdogs disarm themselves); the cancelled
+        callback must never fire and never count as processed."""
+        sim = Simulator()
+        fired = []
+        watchdog = sim.at(5.0, lambda: fired.append("watchdog"))
+        sim.at(1.0, lambda: setattr(watchdog, "cancelled", True))
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 1
+        assert sim.now == 1.0  # the cancelled event never advanced time
+
+    def test_cancelled_events_do_not_advance_until_boundary(self):
+        sim = Simulator()
+        fired = []
+        dead = sim.at(2.0, lambda: fired.append("dead"))
+        dead.cancelled = True
+        sim.at(3.0, lambda: fired.append("live"))
+        sim.run(until=10.0)
+        assert fired == ["live"]
+        assert sim.now == 3.0
+
+    def test_until_deferral_keeps_time_order_with_new_arrivals(self):
+        """An event deferred by run(until=...) is re-queued with a fresh
+        sequence number; it must still fire in time order relative to
+        events scheduled afterwards at earlier times."""
+        sim = Simulator()
+        order = []
+        sim.at(8.0, lambda: order.append("deferred"))
+        sim.run(until=5.0)
+        assert order == []
+        sim.at(6.0, lambda: order.append("new-earlier"))
+        sim.run()
+        assert order == ["new-earlier", "deferred"]
+        assert sim.now == 8.0
+
+    def test_deterministic_replay_same_schedule(self):
+        """Two identical schedules drain identically — the engine has
+        no hidden ordering state beyond (time, insertion sequence)."""
+
+        def build():
+            sim = Simulator()
+            order = []
+            for i, t in enumerate([2.0, 1.0, 2.0, 1.0, 3.0]):
+                sim.at(t, lambda i=i, t=t: order.append((t, i)))
+            sim.run()
+            return order
+
+        assert build() == build()

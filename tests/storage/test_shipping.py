@@ -188,6 +188,51 @@ class TestWarmTakeover:
         with pytest.raises(RecoveryError):
             promote(empty, fx.managers)
 
+    def test_promote_refuses_follower_that_dropped_records(self):
+        """A follower that had to discard deltas (offered before any
+        base snapshot reached it) trails the shipped head; promoting it
+        would roll members back, so promote() must refuse loudly."""
+        fx = Fixture()
+        behind = JournalFollower("behind", fx.storage_key)
+        fx.shipper.add_follower(behind)  # no leader: never primed
+        fx.join_all()
+
+        assert behind.records == 0
+        assert behind.offered_seq > behind.applied_seq == -1
+        with pytest.raises(RecoveryError, match="trails the shipped head"):
+            promote(behind, fx.managers)
+
+    def test_detached_follower_is_still_promotable(self):
+        """An un-shipped tail is not a dropped record: after detach()
+        nothing past the applied head was ever offered, so the replica
+        is complete *for what it was given* and promotion proceeds."""
+        fx = Fixture().join_all()
+        fx.shipper.detach()
+        fx.net.post_all(fx.managers.primary.rekey_now())
+        fx.net.run()
+
+        assert fx.follower.applied_seq == fx.follower.offered_seq
+        assert fx.follower.applied_seq < fx.journal.seq
+        fx.take_over()  # must not raise
+
+    def test_late_base_heals_a_dropped_record_gap(self):
+        """Priming a gapped follower with a fresh base snapshot catches
+        its applied head up to everything offered, restoring
+        promotability."""
+        fx = Fixture()
+        behind = JournalFollower("behind", fx.storage_key)
+        fx.shipper.add_follower(behind)
+        fx.join_all()
+        assert behind.applied_seq < behind.offered_seq
+
+        record = fx.journal.make_snapshot_record(fx.managers.primary)
+        behind.receive(record, fx.journal.seq, "snapshot")
+        assert behind.applied_seq == behind.offered_seq
+        fx.managers.fail_primary()
+        leader = promote(behind, fx.managers,
+                         rng=fx.rng.fork("promoted"))
+        assert leader.members == sorted(MEMBER_IDS)
+
     def test_compaction_resets_follower_tail(self):
         fx = Fixture().join_all()
         fx.journal.compact(fx.managers.primary)

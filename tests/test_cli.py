@@ -148,6 +148,41 @@ class TestTraceCommand:
         assert validate_jsonl(str(target))
 
 
+class TestFabricCommand:
+    def test_fabric_demo_isolates_groups(self, capsys):
+        code = main(["fabric", "demo", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cross-post leaked to 0 members" in out
+        assert "rejected by the demux" in out
+
+    def test_fabric_migrate_reports_ok(self, capsys):
+        code = main(["fabric", "migrate", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "live migration demo" in out
+        assert "OK" in out
+
+    def test_fabric_soak_small_converges(self, capsys):
+        code = main(["fabric", "soak", "--seed", "7", "--groups", "3",
+                     "--shards", "2", "--duration", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fabric soak" in out
+        assert "violations  : 0" in out
+
+    def test_fabric_soak_telemetry_export(self, tmp_path, capsys):
+        target = tmp_path / "fabric.jsonl"
+        code = main(["fabric", "soak", "--seed", "7", "--groups", "3",
+                     "--shards", "2", "--duration", "20",
+                     "--telemetry", str(target)])
+        assert code == 0
+        capsys.readouterr()
+        from repro.telemetry import validate_jsonl
+
+        assert validate_jsonl(str(target))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -156,3 +191,22 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_no_command_lists_all_commands(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code != 0
+        err = capsys.readouterr().err
+        assert "commands:" in err
+        for command in ("verify", "attack-matrix", "render", "demo",
+                        "churn", "report", "trace", "fabric"):
+            assert command in err
+
+    def test_unknown_command_lists_all_commands(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code != 0
+        err = capsys.readouterr().err
+        assert "frobnicate" in err  # the error names the bad input
+        assert "commands:" in err
+        assert "fabric" in err
