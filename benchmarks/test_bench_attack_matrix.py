@@ -2,14 +2,21 @@
 
 Regenerates, as a measured run, the claim structure of §2.3/§3:
 
-    attack              legacy §2.2     improved §3.2
-    forged-denial       SUCCEEDS        blocked
-    forged-removal      SUCCEEDS        blocked
-    rekey-replay        SUCCEEDS        blocked
-    admin-replay        SUCCEEDS        blocked
-    impersonation       blocked         blocked
-    forged-close        SUCCEEDS        blocked
-    stale-session-key   blocked         blocked
+    attack                legacy §2.2     improved §3.2
+    forged-denial         SUCCEEDS        blocked
+    forged-removal        SUCCEEDS        blocked
+    rekey-replay          SUCCEEDS        blocked
+    admin-replay          SUCCEEDS        blocked
+    impersonation         blocked         blocked
+    forged-close          SUCCEEDS        blocked
+    stale-session-key     blocked         blocked
+    quorum-forgery        SUCCEEDS        blocked
+    quorum-equivocation   SUCCEEDS        blocked
+
+For the two Byzantine-insider rows the "legacy" column is the single
+*trusted-leader* deployment (the improved §3.2 stack with no quorum
+layer — §6's stated trust assumption) and the "improved" column is the
+quorum-certified stack from :mod:`repro.quorum`.
 
 A failing assertion here means the reproduction no longer matches the
 paper's predictions.
@@ -31,10 +38,11 @@ def test_attack_matrix(benchmark):
             f"(expected {row.expected_legacy}), "
             f"itgm={row.itgm.succeeded} (expected {row.expected_itgm})"
         )
-    # Shape of the table: legacy falls to 5 attacks, improved to none.
+    # Shape of the table: the trusted-leader stacks fall to 7 attacks
+    # (5 wire attacks + 2 Byzantine-insider ones), improved to none.
     legacy_broken = sum(1 for r in rows if r.legacy.succeeded)
     itgm_broken = sum(1 for r in rows if r.itgm.succeeded)
-    assert legacy_broken == 5
+    assert legacy_broken == 7
     assert itgm_broken == 0
     benchmark.extra_info["legacy_broken"] = legacy_broken
     benchmark.extra_info["itgm_broken"] = itgm_broken

@@ -1,0 +1,164 @@
+"""QRM: what the Byzantine leader quorum costs, measured.
+
+The quorum layer's design claim is that certification is *off-wire*:
+witnesses co-sign over the journal shipping stream that already exists,
+and the certificate rides inside the sealed admin payloads members
+already receive.  Three numbers pin that down:
+
+* **rekey overhead** — wire frames per certified rekey must equal the
+  single-leader count exactly (no extra protocol rounds); the costs
+  that remain are CPU (witness replays + MACs) and bytes (the
+  certificate inside the sealed payload), both measured and bounded.
+* **join frame parity** — the §3.2 handshake is untouched: frames per
+  join identical on both stacks.
+* **view-change latency** — wall seconds for the full equivocation
+  story (strike, gossip detection, eviction, promotion, re-key, heal),
+  plus the soak verdict riding along.
+
+All asserted and written to ``BENCH_quorum.json`` (shared artifact
+envelope, see ``schema.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_bench_record
+from repro.quorum.byzantine import build_quorum_scenario, build_single_scenario
+from repro.quorum.soak import run_quorum_soak, soak_as_expected
+
+REPEATS = 3
+REKEY_ROUNDS = 10
+MEMBER_IDS = ["user-0", "user-1", "user-2"]
+#: Certification does CPU work per mutation (one replica replay and one
+#: MAC per witness) that the single leader skips; replay is bounded by
+#: the quorum journal's aggressive compaction cadence
+#: (``QUORUM_COMPACT_THRESHOLD``), so the whole overhead must stay
+#: within this factor of the single-leader rekey, wall-clock.
+MAX_REKEY_SLOWDOWN = 30.0
+#: The certificate inflates the sealed rekey payload; bounded so the
+#: "layer, not a protocol" claim stays honest at f=1.
+MAX_BYTES_BLOWUP = 4.0
+
+
+def _measure_rekeys(scenario) -> dict:
+    """Best-of wall seconds, frames, and bytes for REKEY_ROUNDS rekeys."""
+    net = scenario.net
+    frames_before = len(net.wire_log)
+    start = time.perf_counter()
+    for _ in range(REKEY_ROUNDS):
+        net.post_all(scenario.leader.rekey_now())
+        net.run()
+    elapsed = time.perf_counter() - start
+    frames = net.wire_log[frames_before:]
+    epochs = {m.group_epoch for m in scenario.members.values()}
+    fps = {m.group_key_fingerprint for m in scenario.members.values()}
+    assert epochs == {scenario.leader.group_epoch}
+    assert fps == {scenario.leader.group_key_fingerprint}
+    return {
+        "seconds_per_rekey": elapsed / REKEY_ROUNDS,
+        "frames_per_rekey": len(frames) / REKEY_ROUNDS,
+        "bytes_per_rekey": sum(len(e.body) for e in frames) / REKEY_ROUNDS,
+    }
+
+
+def test_certified_rekey_overhead():
+    """Certified rekeys: same frames, bounded CPU and byte overhead."""
+    quorum = {"seconds_per_rekey": float("inf")}
+    single = {"seconds_per_rekey": float("inf")}
+    for attempt in range(REPEATS):
+        q = _measure_rekeys(build_quorum_scenario(MEMBER_IDS, seed=attempt))
+        s = _measure_rekeys(build_single_scenario(MEMBER_IDS, seed=attempt))
+        if q["seconds_per_rekey"] < quorum["seconds_per_rekey"]:
+            quorum = q
+        if s["seconds_per_rekey"] < single["seconds_per_rekey"]:
+            single = s
+
+    # The central shape claim: certification adds ZERO wire frames.
+    assert quorum["frames_per_rekey"] == single["frames_per_rekey"], (
+        f"certification added protocol rounds: "
+        f"{quorum['frames_per_rekey']} vs {single['frames_per_rekey']} "
+        "frames per rekey"
+    )
+    slowdown = (
+        quorum["seconds_per_rekey"] / single["seconds_per_rekey"]
+    )
+    assert slowdown < MAX_REKEY_SLOWDOWN, (
+        f"certified rekey is {slowdown:.1f}x the single-leader rekey"
+    )
+    blowup = quorum["bytes_per_rekey"] / single["bytes_per_rekey"]
+    assert blowup < MAX_BYTES_BLOWUP, (
+        f"certificates inflated rekey bytes {blowup:.2f}x"
+    )
+    write_bench_record("quorum", _payload(rekey={
+        "rounds": REKEY_ROUNDS,
+        "members": len(MEMBER_IDS),
+        "quorum": quorum,
+        "single": single,
+        "wall_slowdown": slowdown,
+        "max_wall_slowdown": MAX_REKEY_SLOWDOWN,
+        "bytes_blowup": blowup,
+        "max_bytes_blowup": MAX_BYTES_BLOWUP,
+    }))
+
+
+def test_join_frame_parity():
+    """The handshake is untouched: frames per join match exactly."""
+    per_stack = {}
+    for stack, build in (
+        ("quorum", build_quorum_scenario),
+        ("single", build_single_scenario),
+    ):
+        best = float("inf")
+        frames = None
+        for attempt in range(REPEATS):
+            start = time.perf_counter()
+            scenario = build(MEMBER_IDS, seed=attempt)
+            best = min(
+                best, (time.perf_counter() - start) / len(MEMBER_IDS)
+            )
+            assert all(
+                m.group_epoch == scenario.leader.group_epoch
+                for m in scenario.members.values()
+            )
+            frames = len(scenario.net.wire_log) / len(MEMBER_IDS)
+        per_stack[stack] = {
+            "seconds_per_join": best, "frames_per_join": frames,
+        }
+    assert (
+        per_stack["quorum"]["frames_per_join"]
+        == per_stack["single"]["frames_per_join"]
+    ), f"join handshake diverged: {per_stack}"
+    write_bench_record("quorum", _payload(join=per_stack))
+
+
+def test_view_change_latency():
+    """Strike-to-healed wall time for the equivocation drill."""
+    best = float("inf")
+    report = None
+    for attempt in range(REPEATS):
+        start = time.perf_counter()
+        report = run_quorum_soak("equivocation", stack="quorum", seed=7)
+        best = min(best, time.perf_counter() - start)
+    assert report is not None
+    assert soak_as_expected(report), report.violations
+    assert report.view_changes == 1
+    write_bench_record("quorum", _payload(view_change={
+        "fault": "equivocation",
+        "seconds_full_drill": best,
+        "view_changes": report.view_changes,
+        "final_epoch": report.final_epoch,
+        "violations": len(report.violations),
+        "detected": report.detected,
+    }))
+
+
+# -- artifact assembly --------------------------------------------------------
+
+#: Each bench owns one section; whichever runs last writes the union.
+_SECTIONS: dict = {}
+
+
+def _payload(**section) -> dict:
+    _SECTIONS.update(section)
+    return dict(_SECTIONS)

@@ -23,6 +23,12 @@ Attacks included (paper section in brackets):
   leave request to expel A (the legacy plaintext ``req_close``).
 * :class:`~repro.attacks.stale_key.StaleSessionKeyAttack` — use a leaked
   old session key against the current session (oops-tolerance).
+* :class:`~repro.attacks.quorum_forgery.QuorumForgeryAttack` [§6/§7] — a
+  *compromised leader* fabricates a rekey alone; blocked only by the
+  quorum certificate layer (:mod:`repro.quorum`).
+* :class:`~repro.attacks.quorum_equivocation.QuorumEquivocationAttack`
+  [§5.4] — a compromised leader shows each half of the group a
+  different "certified" key; certificate gossip detects and convicts.
 """
 
 from repro.attacks.base import Attack, AttackResult
@@ -31,6 +37,8 @@ from repro.attacks.forged_close import ForgedCloseAttack
 from repro.attacks.forged_denial import ForgedDenialAttack
 from repro.attacks.forged_removal import ForgedRemovalAttack
 from repro.attacks.impersonation import ImpersonationAttack
+from repro.attacks.quorum_equivocation import QuorumEquivocationAttack
+from repro.attacks.quorum_forgery import QuorumForgeryAttack
 from repro.attacks.rekey_replay import RekeyReplayAttack
 from repro.attacks.stale_key import StaleSessionKeyAttack
 from repro.attacks.suite import ALL_ATTACKS, MatrixRow, run_attack_matrix
@@ -45,6 +53,8 @@ __all__ = [
     "ImpersonationAttack",
     "ForgedCloseAttack",
     "StaleSessionKeyAttack",
+    "QuorumForgeryAttack",
+    "QuorumEquivocationAttack",
     "ALL_ATTACKS",
     "MatrixRow",
     "run_attack_matrix",

@@ -1,0 +1,128 @@
+"""Byzantine insider: a compromised leader fabricates a rekey alone.
+
+The paper's §3.2 protocol authenticates the *channel* — members verify
+that an admin message really came from the leader's session — but the
+leader itself is totally trusted (§6: "the group leader must be
+trusted"; §7 names this the architecture's main limit).  A compromised
+leader can therefore hand the group a key *it chose* (and shares with
+an outside accomplice) and every member will install it.
+
+The quorum layer (:mod:`repro.quorum`) closes this: a mutation is only
+applied when it carries ``f + 1`` attestations from distinct replicas
+over the matching statement.  The compromised primary acting alone has
+two moves, both refused:
+
+* send the mutation **bare** — rule 1, uncertified mutations are never
+  applied;
+* **self-sign** a certificate — one distinct signer is below the
+  ``f + 1`` threshold, and no honest witness will attest a statement
+  its own journal replay does not produce.
+
+Column note: the "legacy" column of the matrix runs this against the
+*single-trusted-leader* deployment — here the improved §3.2 stack
+itself, to make the point that channel authentication alone cannot
+help when the trusted endpoint is the attacker.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult, build_itgm
+from repro.crypto.keys import KEY_LEN, GroupKey
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.itgm.admin import CertifiedPayload, NewGroupKeyPayload
+from repro.quorum.attestation import (
+    Attestation,
+    MutationStatement,
+    QuorumCertificate,
+    member_set_digest,
+)
+from repro.quorum.byzantine import build_quorum_scenario
+
+
+class QuorumForgeryAttack(Attack):
+    """Compromised leader distributes a key it fabricated alone."""
+
+    name = "quorum-forgery"
+    reference = "§6/§7 (total trust in the group leader)"
+    expected_on_legacy = True
+    expected_on_itgm = False
+
+    def __init__(self, seed: int = 2) -> None:
+        self.seed = seed
+
+    def run_legacy(self) -> AttackResult:
+        scenario = build_itgm(["alice", "bob"], seed=self.seed)
+        leader = scenario.leader
+        alice = scenario.members["alice"]
+        rng = DeterministicRandom(self.seed)
+        chosen = GroupKey(rng.fork("chosen").key_material(KEY_LEN))
+        epoch = leader.group_epoch + 1
+
+        # The leader *is* the attacker: it queues the chosen key through
+        # its own perfectly authentic admin channel.
+        for uid in scenario.members:
+            scenario.net.post_all(leader.send_admin_to(
+                uid, NewGroupKeyPayload(key=chosen, epoch=epoch)
+            ))
+        scenario.net.run()
+
+        installed = all(
+            member.group_key_fingerprint == chosen.fingerprint()
+            for member in scenario.members.values()
+        )
+        return AttackResult(
+            self.name, "legacy", installed,
+            "every member installed the leader's fabricated key "
+            f"(epoch {alice.group_epoch}); the attacker reads all traffic"
+            if installed else "members did not install the key",
+        )
+
+    def run_itgm(self) -> AttackResult:
+        scenario = build_quorum_scenario(["alice", "bob"], seed=self.seed)
+        qs = scenario.qs
+        bob = scenario.members["bob"]
+        rng = DeterministicRandom(self.seed)
+        chosen = GroupKey(rng.fork("chosen").key_material(KEY_LEN))
+        epoch = qs.leader.group_epoch + 1
+        epoch_before = bob.group_epoch
+        rejected_before = bob.stats.rejected
+
+        # Move 1: skip certification entirely (the primary controls its
+        # own pump) and send the mutation bare.
+        qs.leader.bind_certifier(None)
+        scenario.net.post_all(qs.leader.send_admin_to(
+            "bob", NewGroupKeyPayload(key=chosen, epoch=epoch)
+        ))
+        scenario.net.run()
+
+        # Move 2: self-sign a "certificate" over the matching statement.
+        statement = MutationStatement(
+            session_id=qs.session_id,
+            seq=qs.journal.seq + 1,
+            epoch=epoch,
+            member_digest=member_set_digest(qs.leader.members),
+            key_fingerprint=chosen.fingerprint(),
+        )
+        self_signed = QuorumCertificate((
+            Attestation.sign(
+                qs.primary_id, statement, qs.keys[qs.primary_id]
+            ),
+        ))
+        scenario.net.post_all(qs.leader.send_admin_to(
+            "bob", CertifiedPayload(
+                inner=NewGroupKeyPayload(key=chosen, epoch=epoch),
+                certificate=self_signed.encode(),
+            )
+        ))
+        scenario.net.run()
+        qs.leader.bind_certifier(qs._certify)
+
+        installed = bob.group_key_fingerprint == chosen.fingerprint()
+        rejections = bob.stats.rejected - rejected_before
+        return AttackResult(
+            self.name, "itgm", installed,
+            "bob installed the fabricated key" if installed
+            else f"bob refused both attempts ({rejections} rejection(s): "
+                 "uncertified, then below the f+1 threshold); epoch still "
+                 f"{bob.group_epoch} (was {epoch_before})",
+        )

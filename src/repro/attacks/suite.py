@@ -16,10 +16,15 @@ from repro.attacks.forged_close import ForgedCloseAttack
 from repro.attacks.forged_denial import ForgedDenialAttack
 from repro.attacks.forged_removal import ForgedRemovalAttack
 from repro.attacks.impersonation import ImpersonationAttack
+from repro.attacks.quorum_equivocation import QuorumEquivocationAttack
+from repro.attacks.quorum_forgery import QuorumForgeryAttack
 from repro.attacks.rekey_replay import RekeyReplayAttack
 from repro.attacks.stale_key import StaleSessionKeyAttack
 
-#: All attacks, in paper order.
+#: All attacks, in paper order.  The two ``quorum-*`` rows model a
+#: *Byzantine leader* (§6/§7's trusted party turning hostile): their
+#: "legacy" column is the single-trusted-leader deployment and their
+#: "improved" column is the quorum-hardened stack of :mod:`repro.quorum`.
 ALL_ATTACKS: list[type[Attack]] = [
     ForgedDenialAttack,
     ForgedRemovalAttack,
@@ -28,6 +33,8 @@ ALL_ATTACKS: list[type[Attack]] = [
     ImpersonationAttack,
     ForgedCloseAttack,
     StaleSessionKeyAttack,
+    QuorumForgeryAttack,
+    QuorumEquivocationAttack,
 ]
 
 

@@ -29,6 +29,13 @@ Commands
     demo, a live migration walkthrough, or the seeded many-group soak
     (churn + chaos + migration + shard crash); exits nonzero on any
     safety, isolation, or convergence failure.
+``quorum``
+    Drive the Byzantine leader quorum: a scripted certification demo
+    (fork, detection, automatic view change), the Byzantine-leader
+    attack rows on their own, or the seeded fault × stack soak matrix
+    with optional deterministic JSONL export; exits nonzero whenever
+    the quorum stack violates an invariant or misses a detection — or
+    the single-leader baseline fails to fail.
 
 Invoked with no command (or an unknown one), the CLI prints the full
 command list and exits nonzero.
@@ -538,6 +545,114 @@ def _fabric_demo(seed: int) -> int:
     return 0 if leaked == 0 and foreign >= 1 else 1
 
 
+def _cmd_quorum(args: argparse.Namespace) -> int:
+    if args.mode == "demo":
+        return _quorum_demo(args.seed)
+    if args.mode == "attack":
+        return _quorum_attack(args.seed)
+
+    # soak: the full Byzantine fault × stack comparison grid.
+    from repro.quorum import (
+        format_byzantine_matrix,
+        run_byzantine_matrix,
+        soak_as_expected,
+    )
+
+    faults = tuple(args.faults.split(",")) if args.faults else None
+    bus = exporter = None
+    if args.out:
+        from repro.telemetry import EventBus, attach_jsonl, validate_jsonl
+        from repro.util.clock import TickClock
+
+        # Logical clock + fresh seq: the JSONL must be byte-identical
+        # across runs of the same seed (CI diffs it on failure).
+        bus = EventBus()
+        bus.set_clock(TickClock())
+        bus.reset_seq()
+        exporter = attach_jsonl(bus, args.out)
+    reports = run_byzantine_matrix(
+        seed=args.seed, faults=faults, telemetry=bus
+    )
+    print(format_byzantine_matrix(reports))
+    if exporter is not None:
+        exporter.close()
+        validate_jsonl(args.out)
+        print(f"\nwrote {args.out} ({exporter.lines_written} events, "
+              "schema-valid)")
+    bad = [r for r in reports if not soak_as_expected(r)]
+    if bad:
+        print(f"\n{len(bad)} cell(s) deviated from the quorum claim!")
+        for r in bad:
+            for violation in r.violations[:3]:
+                print(f"  {r.fault}/{r.stack}: {violation}")
+        return 1
+    print("\nquorum stack: zero violations, every fault detected; "
+          "single leader: broken under every fault")
+    return 0
+
+
+def _quorum_demo(seed: int) -> int:
+    """Scripted tour: certified mutations, a fork, detection, healing."""
+    from repro.quorum import run_quorum_soak
+    from repro.quorum.byzantine import build_quorum_scenario
+
+    scenario = build_quorum_scenario(["alice", "bob", "carol"], seed=seed)
+    qs = scenario.qs
+    print(f"quorum demo — n={qs.config.n} replicas (f={qs.config.f}), "
+          f"certificates need {qs.config.threshold} attestations, "
+          f"seed={seed}")
+    print(f"  replica set        : primary {qs.primary_id}, "
+          f"witnesses {sorted(qs.witnesses)}")
+    print(f"  members joined     : {qs.leader.members} "
+          f"(every join certified)")
+    scenario.net.post_all(qs.leader.rekey_now())
+    scenario.net.run()
+    alice = scenario.members["alice"]
+    certificate = alice.accepted_certificates[-1]
+    print(f"  certified rekey    : epoch {alice.group_epoch}, "
+          f"signed by {sorted(certificate.signers)}")
+
+    report = run_quorum_soak("equivocation", stack="quorum", seed=seed)
+    print(f"  equivocation drill : detected={report.detected} — "
+          f"{report.detail}")
+    print(f"  view change        : {report.view_changes} "
+          f"(healed at epoch {report.final_epoch}, "
+          f"{len(report.violations)} invariant violations)")
+    ok = report.safe and report.detected and report.converged
+    print("  verdict            : "
+          + ("OK — fork detected, attributed, healed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def _quorum_attack(seed: int) -> int:
+    """The Byzantine-leader rows of the attack matrix, on their own."""
+    from repro.attacks import QuorumEquivocationAttack, QuorumForgeryAttack
+    from repro.attacks.suite import MatrixRow, format_matrix
+
+    rows = []
+    for attack_cls in (QuorumForgeryAttack, QuorumEquivocationAttack):
+        attack = attack_cls(seed=seed + 11)
+        legacy_result, itgm_result = attack.run_both()
+        rows.append(MatrixRow(
+            attack=attack.name,
+            reference=attack.reference,
+            legacy=legacy_result,
+            itgm=itgm_result,
+            expected_legacy=attack.expected_on_legacy,
+            expected_itgm=attack.expected_on_itgm,
+        ))
+    print("Byzantine-leader attacks — 'legacy' is the single-trusted-"
+          "leader deployment,\n'improved' the quorum-hardened stack:\n")
+    print(format_matrix(rows))
+    for row in rows:
+        print(f"\n{row.attack}: {row.itgm.detail}")
+    if all(row.as_expected for row in rows):
+        print("\nboth attacks break the single leader and die on the quorum")
+        return 0
+    print("\ndeviation from the quorum claim!")
+    return 1
+
+
 class _HelpfulParser(argparse.ArgumentParser):
     """A parser whose errors name every command, not just the usage.
 
@@ -674,6 +789,24 @@ def build_parser() -> argparse.ArgumentParser:
     fabric.add_argument("--telemetry", metavar="PATH",
                         help="export the soak's event stream as JSONL")
     fabric.set_defaults(func=_cmd_fabric)
+
+    quorum = sub.add_parser(
+        "quorum",
+        help="drive the Byzantine leader quorum (demo / attack / soak)",
+    )
+    quorum.add_argument("mode", choices=("demo", "attack", "soak"),
+                        help="scripted certification-and-healing demo, "
+                             "Byzantine-leader attack rows, or the "
+                             "fault × stack soak matrix")
+    quorum.add_argument("--seed", type=int, default=7)
+    quorum.add_argument("--faults", metavar="F1,F2",
+                        help="comma-separated subset of equivocation,"
+                             "silence,withholding,corruption "
+                             "(soak mode only)")
+    quorum.add_argument("--out", metavar="PATH",
+                        help="export the soak's event stream as "
+                             "deterministic JSONL (soak mode only)")
+    quorum.set_defaults(func=_cmd_quorum)
     return parser
 
 

@@ -30,6 +30,7 @@ _TAG_JOINED = 0x02
 _TAG_LEFT = 0x03
 _TAG_MEMBERSHIP = 0x04
 _TAG_TEXT = 0x05
+_TAG_CERTIFIED = 0x06
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,29 @@ class MembershipPayload(AdminPayload):
 
 
 @dataclass(frozen=True)
+class CertifiedPayload(AdminPayload):
+    """An inner payload plus a quorum certificate over its statement.
+
+    The Byzantine-quorum extension (:mod:`repro.quorum`): the inner
+    payload is an ordinary group-management message; ``certificate``
+    is the encoded :class:`~repro.quorum.attestation.QuorumCertificate`
+    binding it to ``f + 1`` replica attestations.  The bytes are opaque
+    at this layer — the admin codec stays independent of the quorum
+    package; only quorum-aware members parse and verify them.  Nesting
+    is rejected at decode time: a certificate certifies a concrete
+    mutation, never another certificate.
+    """
+
+    inner: AdminPayload
+    certificate: bytes
+
+    def encode(self) -> bytes:
+        return encode_fields(
+            [bytes([_TAG_CERTIFIED]), self.inner.encode(), self.certificate]
+        )
+
+
+@dataclass(frozen=True)
 class TextPayload(AdminPayload):
     """Free-form admin text (used by tests and ablation benchmarks)."""
 
@@ -141,4 +165,11 @@ def decode_payload(data: bytes) -> AdminPayload:
         if len(fields) != 2:
             raise CodecError("malformed TextPayload")
         return TextPayload(text=decode_str(fields[1]))
+    if tag == _TAG_CERTIFIED:
+        if len(fields) != 3:
+            raise CodecError("malformed CertifiedPayload")
+        inner = decode_payload(fields[1])
+        if isinstance(inner, CertifiedPayload):
+            raise CodecError("nested CertifiedPayload")
+        return CertifiedPayload(inner=inner, certificate=fields[2])
     raise CodecError(f"unknown admin payload tag {tag:#x}")

@@ -43,6 +43,7 @@ from repro.enclaves.common import (
 )
 from repro.enclaves.itgm.admin import (
     AdminPayload,
+    CertifiedPayload,
     MemberJoinedPayload,
     MemberLeftPayload,
     MembershipPayload,
@@ -380,6 +381,8 @@ class MemberProtocol:
 
     def _apply_admin(self, payload: AdminPayload) -> list[Event]:
         """Update local group view from an accepted admin payload."""
+        if isinstance(payload, CertifiedPayload):
+            return self._apply_certified(payload)
         if isinstance(payload, NewGroupKeyPayload):
             self._previous_group_cipher = (
                 self._group_cipher
@@ -400,6 +403,19 @@ class MemberProtocol:
             self.membership = set(payload.members)
             return [MembershipView(payload.members)]
         return []
+
+    def _apply_certified(self, payload: CertifiedPayload) -> list[Event]:
+        """Apply a certificate-wrapped payload.
+
+        The base member trusts its single leader completely (the
+        paper's model), so the certificate is *not* checked here — the
+        inner payload is applied as if it arrived bare.  This is
+        exactly the trust gap the Byzantine quorum closes:
+        :class:`~repro.quorum.member.QuorumMemberProtocol` overrides
+        this to verify the quorum certificate, refuse uncertified
+        mutations, and detect equivocation.
+        """
+        return self._apply_admin(payload.inner)
 
     # -- application data ------------------------------------------------------
 

@@ -72,6 +72,7 @@ from repro.telemetry.events import (
     resolve_bus,
 )
 from repro.telemetry.spans import SpanTracer
+from repro.util.backoff import BackoffPolicy
 from repro.util.clock import Clock
 from repro.wire.message import Envelope
 
@@ -123,6 +124,21 @@ class SupervisorConfig:
     jitter: float = 0.5
     #: Full passes over the manager list before giving up.
     max_rounds: int = 8
+
+    def backoff_policy(self) -> BackoffPolicy:
+        """The equivalent :class:`~repro.util.backoff.BackoffPolicy`.
+
+        ``"centered"`` mode reproduces the supervisor's historical
+        jitter formula bit-for-bit (same 8-byte draw per attempt), so
+        seeded chaos schedules are unchanged by the unification.
+        """
+        return BackoffPolicy(
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            max_delay=self.backoff_max,
+            jitter=self.jitter,
+            mode="centered",
+        )
 
 
 class _SharedEndpoint(Endpoint):
@@ -322,15 +338,7 @@ class ResilientMemberClient:
         return self.manager_order[i:] + self.manager_order[:i]
 
     def _backoff(self, attempt: int) -> float:
-        cfg = self.config
-        delay = min(
-            cfg.backoff_max, cfg.backoff_base * cfg.backoff_factor ** attempt
-        )
-        if self._jitter_rng is not None:
-            raw = int.from_bytes(self._jitter_rng.random_bytes(8), "big")
-            u = raw / float(1 << 64)
-            delay *= 1.0 + cfg.jitter * (u - 0.5)
-        return delay
+        return self.config.backoff_policy().delay(attempt, self._jitter_rng)
 
     async def _reconnect(self) -> None:
         """Cycle managers with backoff until joined; terminal on budget."""

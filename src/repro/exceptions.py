@@ -91,6 +91,16 @@ class RecoveryFailed(ProtocolError):
     """
 
 
+class QuorumError(ProtocolError):
+    """A quorum certificate failed verification.
+
+    Raised by :mod:`repro.quorum.attestation` when a certificate is
+    malformed, carries too few distinct valid attestations, mixes
+    conflicting statements, or names an evicted replica.  Members treat
+    it like any other authentication failure: the carrying payload is
+    discarded, loudly."""
+
+
 class StorageError(ReproError):
     """Base class for failures in the durability layer (:mod:`repro.storage`)."""
 

@@ -45,6 +45,7 @@ class FabricMember:
         rng: RandomSource | None = None,
         rekey_grace: bool = True,
         telemetry: EventBus | None = None,
+        protocol_factory=None,
     ) -> None:
         self.credentials = credentials
         self.user_id = credentials.user_id
@@ -53,6 +54,11 @@ class FabricMember:
         self._rng = rng if rng is not None else SystemRandom()
         self._rekey_grace = rekey_grace
         self._telemetry = telemetry
+        #: Optional ``(credentials, group_id, rng, rekey_grace,
+        #: telemetry) -> MemberProtocol`` override, so protocol variants
+        #: (e.g. the certificate-verifying quorum member) ride the
+        #: fabric's routing unchanged.
+        self._protocol_factory = protocol_factory
         self._epoch = 0
         self.protocol = self._new_protocol()
         self.route: RouteResult | None = None
@@ -69,6 +75,11 @@ class FabricMember:
             if isinstance(self._rng, DeterministicRandom)
             else self._rng
         )
+        if self._protocol_factory is not None:
+            return self._protocol_factory(
+                self.credentials, self.group_id, rng,
+                self._rekey_grace, self._telemetry,
+            )
         return MemberProtocol(
             self.credentials,
             self.group_id,

@@ -60,6 +60,8 @@ from repro.telemetry.events import (
     frame_id,
 )
 from repro.telemetry.metrics import MetricsRegistry
+from repro.util.backoff import BackoffPolicy
+from repro.util.backoff import constant as backoff_constant
 from repro.wire.message import Envelope, wrap_group
 
 
@@ -99,6 +101,16 @@ class FabricConfig:
     watchdog_timeout: float = 2.5
     retransmit_interval: float = 0.5
     converge_timeout: float = 20.0
+
+    def retry_policy(self) -> BackoffPolicy:
+        """The member driver's retry pacing as a shared policy object.
+
+        Historically a bare fixed interval; expressed as a degenerate
+        :class:`~repro.util.backoff.BackoffPolicy` (factor 1, no
+        jitter) so every retry knob in the codebase lives behind the
+        same type without changing the produced delays.
+        """
+        return backoff_constant(self.retransmit_interval)
     journal_fsync_every: int = 1
     vnodes: int = 16
 
@@ -383,7 +395,8 @@ class _MemberRuntime:
 
     async def _drive_loop(self) -> None:
         loop = asyncio.get_running_loop()
-        interval = self.config.retransmit_interval
+        policy = self.config.retry_policy()
+        interval = policy.delay(0)
         try:
             while True:
                 await asyncio.sleep(interval)

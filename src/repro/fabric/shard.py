@@ -206,6 +206,43 @@ class ShardHost:
             )
         return leader
 
+    def host_prepared(
+        self, group_id: str, leader: GroupLeader, journal: Journal
+    ) -> None:
+        """Serve an externally constructed (leader, journal) pair.
+
+        The quorum fabric glue (:mod:`repro.quorum.fabric`) uses this to
+        put a replica set's *primary* — a core whose journal, shipping
+        stream, and certification wiring already exist and must not be
+        rebuilt — behind the shard's demux.  Redirects, eviction, and
+        the tick fan-out behave exactly as for natively hosted groups.
+        """
+        if group_id in self._hosted:
+            raise StateError(
+                f"shard {self.shard_id!r} already hosts {group_id!r}"
+            )
+        self._departed.pop(group_id, None)
+        self._hosted[group_id] = _Hosted(leader, journal)
+        if self._telemetry:
+            self._telemetry.emit(
+                GroupHosted(self.shard_id, group_id, journal.seq)
+            )
+
+    def rebind_group(
+        self, group_id: str, leader: GroupLeader, journal: Journal
+    ) -> None:
+        """Swap the served core for an already-hosted group in place.
+
+        A quorum view change replaces the primary's leader object (the
+        promoted witness's replayed state) without the group moving
+        shards; the demux must follow or it would keep serving the
+        evicted core.  No redirect breadcrumb, no directory change —
+        from the members' side nothing happened but an epoch bump.
+        """
+        entry = self._entry(group_id)
+        entry.leader = leader
+        entry.journal = journal
+
     def quiesce(self, group_id: str) -> None:
         """Stop serving a group's traffic (members get redirects) while
         its state ships; the leader object stays for checkpointing."""

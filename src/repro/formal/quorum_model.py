@@ -1,0 +1,265 @@
+"""Exhaustive small-world model of the quorum certificate layer.
+
+The PVS-style counterpart for :mod:`repro.quorum`: where the §4-5 model
+checks the member-facing protocol, this module checks the *replica*
+layer's three safety claims by brute force over every enumerable small
+world, using the production :mod:`repro.quorum.attestation` primitives
+(real keys, real MACs) rather than an abstraction of them.
+
+A **world** is one complete adversarial scenario for ``n = 3f + 1``
+replicas and two conflicting statements ``X`` (the true state, the one
+an honest primary's journal stream shows) and ``Y`` (a fork):
+
+* any subset of at most ``f`` replicas is Byzantine;
+* an honest non-primary replica signs exactly the statement the
+  primary's shipped stream showed it — ``X`` under an honest primary;
+  either one (the primary's choice, enumerated) under a Byzantine
+  primary — and never both;
+* a Byzantine replica signs any subset of ``{X, Y}``;
+* the adversary then assembles *every* possible certificate from the
+  signatures that exist.
+
+Checked in every world, for every assemblable certificate and every
+conflicting certificate pair:
+
+1. **Forgery resistance** — every certificate that verifies at the
+   ``f + 1`` threshold contains an honest signer; under an honest
+   primary no certificate for ``Y`` verifies at all.  (Sub-threshold
+   assemblies are also checked to be rejected.)
+2. **Detectability** — any two verifying certificates over conflicting
+   statements form an :class:`~repro.quorum.attestation.\
+EquivocationEvidence` blob that itself verifies: one honest observer
+   holding both certificates can always convict.
+3. **Accusation soundness** — the accused replica (the evidence
+   builder's choice *and* every accusation :meth:`EquivocationEvidence.\
+verify` would accept) is always actually Byzantine.  An honest replica
+   can never be convicted, and fabricated evidence (non-conflicting or
+   under-signed certificates, or an accusation violating the rule)
+   never verifies.
+
+The negative control ``threshold_override=1`` shows the model has
+teeth: with certificates of one signature, a lone Byzantine replica
+forges freely and the forgery-resistance check reports violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+
+from repro.crypto.keys import KeyMaterial
+from repro.exceptions import QuorumError
+from repro.quorum.attestation import (
+    Attestation,
+    EquivocationEvidence,
+    MutationStatement,
+    QuorumCertificate,
+    build_evidence,
+    derive_attestation_key,
+)
+
+#: The primary's replica id in every world.
+PRIMARY = "p"
+
+#: The two statement names; ``X`` is the true state.
+STATEMENT_NAMES = ("X", "Y")
+
+
+def _replicas(f: int) -> tuple[str, ...]:
+    return (PRIMARY,) + tuple(f"w{i}" for i in range(1, 3 * f + 1))
+
+
+def _statements(session_id: str = "grp") -> dict[str, MutationStatement]:
+    """Two statements conflicting on both axes the layer watches: one
+    journal seq bound to two contents, one epoch to two keys."""
+    return {
+        "X": MutationStatement(session_id, 5, 3, "d" * 16, "aaaaaaaa"),
+        "Y": MutationStatement(session_id, 5, 3, "d" * 16, "bbbbbbbb"),
+    }
+
+
+@dataclass(frozen=True)
+class QuorumWorld:
+    """One adversarial scenario: who is Byzantine, who signed what."""
+
+    byzantine: frozenset[str]
+    #: honest replica -> the statement name the primary showed it
+    observed: dict[str, str]
+    #: replica -> statement names it signed
+    signed: dict[str, frozenset[str]]
+
+
+@dataclass
+class QuorumModelReport:
+    """Outcome of one exhaustive run."""
+
+    f: int
+    threshold: int
+    worlds: int = 0
+    certificates_checked: int = 0
+    pairs_checked: int = 0
+    accusations_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def enumerate_worlds(f: int = 1) -> list[QuorumWorld]:
+    """Every world for ``n = 3f + 1`` replicas and ``<= f`` traitors."""
+    replicas = _replicas(f)
+    sign_choices = [
+        frozenset(), frozenset({"X"}), frozenset({"Y"}),
+        frozenset({"X", "Y"}),
+    ]
+    byzantine_sets = [
+        frozenset(combo)
+        for size in range(f + 1)
+        for combo in combinations(replicas, size)
+    ]
+    worlds: list[QuorumWorld] = []
+    for byzantine in byzantine_sets:
+        honest = [r for r in replicas if r not in byzantine]
+        if PRIMARY in byzantine:
+            # A forking primary shows each honest replica either world.
+            shown_options = product(STATEMENT_NAMES, repeat=len(honest))
+        else:
+            # An honest primary has one stream: everyone sees the truth.
+            shown_options = [("X",) * len(honest)]
+        for shown in shown_options:
+            observed = dict(zip(honest, shown))
+            traitors = sorted(byzantine)
+            for choices in product(sign_choices, repeat=len(traitors)):
+                signed = {
+                    r: frozenset({observed[r]}) for r in honest
+                }
+                signed.update(zip(traitors, choices))
+                worlds.append(QuorumWorld(
+                    byzantine=byzantine, observed=observed, signed=signed,
+                ))
+    return worlds
+
+
+def check_quorum_model(
+    f: int = 1,
+    threshold_override: int | None = None,
+) -> QuorumModelReport:
+    """Run every check in every world; see the module docstring."""
+    replicas = _replicas(f)
+    threshold = threshold_override if threshold_override else f + 1
+    report = QuorumModelReport(f=f, threshold=threshold)
+    root = KeyMaterial(bytes(range(32)))
+    keys = {r: derive_attestation_key(root, r) for r in replicas}
+    statements = _statements()
+
+    for world in enumerate_worlds(f):
+        report.worlds += 1
+        attestations = {
+            (r, name): Attestation.sign(r, statements[name], keys[r])
+            for r in replicas
+            for name in world.signed[r]
+        }
+        valid: dict[str, list[QuorumCertificate]] = {"X": [], "Y": []}
+        for name in STATEMENT_NAMES:
+            signers = sorted(
+                r for r in replicas if name in world.signed[r]
+            )
+            for size in range(1, len(signers) + 1):
+                for combo in combinations(signers, size):
+                    cert = QuorumCertificate(tuple(
+                        attestations[(r, name)] for r in combo
+                    ))
+                    report.certificates_checked += 1
+                    try:
+                        cert.verify(keys, threshold)
+                    except QuorumError:
+                        if size >= threshold:
+                            report.violations.append(
+                                f"{world}: well-formed certificate "
+                                f"{combo} for {name} failed to verify"
+                            )
+                        continue
+                    if size < threshold:
+                        report.violations.append(
+                            f"{world}: sub-threshold certificate "
+                            f"{combo} for {name} verified"
+                        )
+                        continue
+                    valid[name].append(cert)
+                    # 1 — forgery resistance.
+                    if not any(
+                        r not in world.byzantine for r in combo
+                    ):
+                        report.violations.append(
+                            f"{world}: certificate for {name} with only "
+                            f"Byzantine signers {combo} verified"
+                        )
+                    if (
+                        name == "Y"
+                        and PRIMARY not in world.byzantine
+                    ):
+                        report.violations.append(
+                            f"{world}: honest primary, yet a fork "
+                            f"certificate {combo} verified"
+                        )
+
+        # 2 + 3 — every conflicting pair convicts, and only traitors.
+        for cert_x in valid["X"]:
+            for cert_y in valid["Y"]:
+                report.pairs_checked += 1
+                evidence = build_evidence(cert_x, cert_y, PRIMARY)
+                try:
+                    evidence.verify(keys, threshold, PRIMARY)
+                except QuorumError as exc:
+                    report.violations.append(
+                        f"{world}: genuine fork evidence failed to "
+                        f"verify ({exc})"
+                    )
+                    continue
+                if evidence.accused not in world.byzantine:
+                    report.violations.append(
+                        f"{world}: evidence convicted honest replica "
+                        f"{evidence.accused!r} "
+                        f"(certs {sorted(cert_x.signers)} / "
+                        f"{sorted(cert_y.signers)})"
+                    )
+                # Every accusation verify() accepts must name a traitor.
+                for candidate in replicas:
+                    report.accusations_checked += 1
+                    claim = EquivocationEvidence(
+                        accused=candidate, first=cert_x, second=cert_y
+                    )
+                    try:
+                        claim.verify(keys, threshold, PRIMARY)
+                    except QuorumError:
+                        continue
+                    if candidate not in world.byzantine:
+                        report.violations.append(
+                            f"{world}: accusation of honest "
+                            f"{candidate!r} verified"
+                        )
+    return report
+
+
+def format_report(report: QuorumModelReport) -> str:
+    lines = [
+        f"quorum model: f={report.f} threshold={report.threshold}",
+        f"  worlds explored:        {report.worlds}",
+        f"  certificates checked:   {report.certificates_checked}",
+        f"  conflicting pairs:      {report.pairs_checked}",
+        f"  accusations checked:    {report.accusations_checked}",
+        f"  violations:             {len(report.violations)}",
+    ]
+    lines.extend(f"    {v}" for v in report.violations[:10])
+    return "\n".join(lines)
+
+
+__all__ = [
+    "PRIMARY",
+    "QuorumModelReport",
+    "QuorumWorld",
+    "check_quorum_model",
+    "enumerate_worlds",
+    "format_report",
+]

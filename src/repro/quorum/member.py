@@ -1,0 +1,254 @@
+"""Certificate-verifying member: the trust boundary of the quorum.
+
+The base :class:`~repro.enclaves.itgm.member.MemberProtocol` applies
+whatever its (single, fully trusted) leader sends.  The quorum member
+closes that gap with three rules, enforced *inside* the sealed admin
+channel after the ordinary §3.2 checks pass:
+
+1. **No uncertified mutations.**  A bare ``NewGroupKeyPayload``,
+   ``MemberJoinedPayload``, ``MemberLeftPayload`` or
+   ``MembershipPayload`` is refused — acknowledged on the nonce chain
+   (the channel must stay live) but never applied to the group view.
+2. **Certificates must verify and must cover the mutation.**  The
+   certificate's statement has to carry ``f + 1`` valid attestations
+   from distinct, non-evicted replicas *and* bind exactly this
+   mutation: the right session, the projected post-mutation member
+   set, and — for key distribution — the payload's own epoch and key
+   fingerprint.  A primary cannot take a certificate issued for one
+   mutation and splice it onto another.
+3. **Conflicting certificates convict.**  The member remembers every
+   certificate it accepted, keyed by journal seq and by epoch; a later
+   certificate that conflicts (same seq, different statement — a
+   forked stream — or same epoch, different key) is refused, and the
+   pair is packaged into a signed
+   :class:`~repro.quorum.attestation.EquivocationEvidence` blob plus
+   an ``EquivocationDetected`` telemetry event.
+
+Refusals surface as ordinary :class:`~repro.enclaves.common.Rejected`
+events whose reasons carry the ``certificate``/``uncertified`` markers,
+so the telemetry classifier files them as integrity rejections and the
+attack-trace CLI lists the offending frames.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.crypto.keys import KeyMaterial
+from repro.enclaves.common import Credentials, Event
+from repro.enclaves.itgm.admin import (
+    AdminPayload,
+    CertifiedPayload,
+    MemberJoinedPayload,
+    MemberLeftPayload,
+    MembershipPayload,
+    NewGroupKeyPayload,
+)
+from repro.enclaves.itgm.member import MemberProtocol
+from repro.exceptions import QuorumError
+from repro.quorum.attestation import (
+    EquivocationEvidence,
+    MutationStatement,
+    QuorumCertificate,
+    build_evidence,
+    member_set_digest,
+)
+from repro.telemetry.events import (
+    CertificateVerified,
+    EquivocationDetected,
+    EventBus,
+)
+from repro.wire.labels import Label
+
+
+class QuorumVerifier:
+    """One observer's view of the quorum: keys, evictions, and every
+    certificate it has accepted so far.
+
+    Stateful on purpose — equivocation is only detectable by an
+    observer that *remembers*: a single certificate is always
+    self-consistent; the crime is two of them binding one journal seq
+    (or one epoch) to different worlds.  Each member owns its own
+    verifier; the replica set's auditor cross-checks across members.
+    """
+
+    def __init__(
+        self,
+        keys: Mapping[str, KeyMaterial],
+        threshold: int,
+        primary_id: str,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.keys = dict(keys)
+        self.threshold = threshold
+        #: Replica identity of the current primary — the party accused
+        #: when conflicting certificates share no signer.
+        self.primary_id = primary_id
+        self.evicted: set[str] = set()
+        self._by_seq: dict[int, QuorumCertificate] = {}
+        self._by_epoch: dict[int, QuorumCertificate] = {}
+
+    # -- out-of-band configuration updates ---------------------------------
+
+    def evict(self, replica_id: str) -> None:
+        """Stop accepting attestations from ``replica_id`` (the verifier
+        learned of a conviction — e.g. from a distributed evidence
+        blob)."""
+        self.evicted.add(replica_id)
+
+    def set_primary(self, replica_id: str) -> None:
+        """Record a completed view change's new primary.
+
+        Starts a fresh observation window: the view change re-keys at
+        a strictly higher epoch than anything the old tenure certified,
+        so statements from before the change can never be replayed
+        against the new primary — and a Byzantine old primary may have
+        planted forged-seq certificates that would otherwise poison
+        conflict detection against the honest successor forever.
+        """
+        self.primary_id = replica_id
+        self._by_seq.clear()
+        self._by_epoch.clear()
+
+    # -- the verification pipeline -----------------------------------------
+
+    def check(self, certificate: bytes) -> QuorumCertificate:
+        """Decode and verify one certificate; raises :class:`QuorumError`."""
+        cert = QuorumCertificate.from_bytes(certificate)
+        cert.verify(self.keys, self.threshold, frozenset(self.evicted))
+        return cert
+
+    def observe(self, cert: QuorumCertificate) -> EquivocationEvidence | None:
+        """Remember a *verified* certificate; returns evidence when it
+        conflicts with one seen earlier (the new certificate is then
+        NOT recorded — the first-accepted world stays authoritative)."""
+        statement = cert.statement
+        for prior in (
+            self._by_seq.get(statement.seq),
+            self._by_epoch.get(statement.epoch),
+        ):
+            if prior is not None and prior.statement.conflicts_with(statement):
+                return build_evidence(prior, cert, self.primary_id)
+        self._by_seq.setdefault(statement.seq, cert)
+        self._by_epoch.setdefault(statement.epoch, cert)
+        return None
+
+
+class QuorumMemberProtocol(MemberProtocol):
+    """A member that refuses mutations lacking a valid quorum certificate."""
+
+    def __init__(
+        self,
+        credentials: Credentials,
+        leader_id: str,
+        verifier: QuorumVerifier,
+        rng=None,
+        rekey_grace: bool = True,
+        telemetry: EventBus | None = None,
+    ) -> None:
+        super().__init__(
+            credentials, leader_id, rng,
+            rekey_grace=rekey_grace, telemetry=telemetry,
+        )
+        self.verifier = verifier
+        #: Evidence blobs this member produced (also emitted as
+        #: ``EquivocationDetected`` telemetry with the encoded blob).
+        self.evidence: list[EquivocationEvidence] = []
+        #: Certificates this member verified and applied, in order —
+        #: what it gossips to peers so cross-member conflicts (a primary
+        #: showing different worlds to different members) surface too.
+        self.accepted_certificates: list[QuorumCertificate] = []
+
+    # -- the three rules ---------------------------------------------------
+
+    def _apply_admin(self, payload: AdminPayload) -> list[Event]:
+        if isinstance(payload, CertifiedPayload):
+            return self._apply_certified(payload)
+        if isinstance(payload, (
+            NewGroupKeyPayload, MemberJoinedPayload,
+            MemberLeftPayload, MembershipPayload,
+        )):
+            # Rule 1.  The ack still flows (the nonce chain must not
+            # stall on attacker input) but the group view is untouched.
+            return [self._reject(
+                f"uncertified {type(payload).__name__} refused",
+                Label.ADMIN_MSG,
+            )]
+        return MemberProtocol._apply_admin(self, payload)
+
+    def _apply_certified(self, payload: CertifiedPayload) -> list[Event]:
+        try:
+            cert = self.verifier.check(payload.certificate)
+        except QuorumError as exc:
+            return [self._reject(
+                f"certificate rejected: {exc}", Label.ADMIN_MSG,
+            )]
+        statement = cert.statement
+        mismatch = self._binding_mismatch(statement, payload.inner)
+        if mismatch is not None:
+            return [self._reject(
+                f"certificate does not cover this mutation ({mismatch})",
+                Label.ADMIN_MSG,
+            )]
+        evidence = self.verifier.observe(cert)
+        if evidence is not None:
+            self.evidence.append(evidence)
+            if self._telemetry:
+                self._telemetry.emit(EquivocationDetected(
+                    self.user_id, self.leader_id, evidence.accused,
+                    statement.epoch, evidence.encode().hex(),
+                ))
+            return [self._reject(
+                "certificate equivocation (conflicting attestation set)",
+                Label.ADMIN_MSG,
+            )]
+        self.accepted_certificates.append(cert)
+        if self._telemetry:
+            self._telemetry.emit(CertificateVerified(
+                self.user_id, self.leader_id,
+                statement.epoch, len(cert.signers),
+            ))
+        # Inner payloads cannot nest (the codec rejects that), so this
+        # dispatches straight to the base implementation's cases.
+        return MemberProtocol._apply_admin(self, payload.inner)
+
+    def _binding_mismatch(
+        self, statement: MutationStatement, inner: AdminPayload
+    ) -> str | None:
+        """Rule 2: does the statement actually describe this mutation?
+
+        Returns a reason string on mismatch, None when bound.  The
+        member checks the statement's digest against its *projected*
+        post-mutation member set — what its own view becomes if it
+        applies the payload — so a replayed certificate from a
+        different membership state never binds.
+        """
+        if statement.session_id != self.leader_id:
+            return f"statement for session {statement.session_id!r}"
+        if isinstance(inner, NewGroupKeyPayload):
+            if statement.epoch != inner.epoch:
+                return (
+                    f"statement epoch {statement.epoch} != payload "
+                    f"epoch {inner.epoch}"
+                )
+            if statement.key_fingerprint != inner.key.fingerprint():
+                return "statement covers a different group key"
+            # The key always arrives after the membership payloads of
+            # its mutation, so the current view *is* the post-mutation
+            # set here.
+            projected = set(self.membership)
+        elif isinstance(inner, MemberJoinedPayload):
+            projected = self.membership | {inner.user_id}
+        elif isinstance(inner, MemberLeftPayload):
+            projected = self.membership - {inner.user_id}
+        elif isinstance(inner, MembershipPayload):
+            projected = set(inner.members)
+        else:
+            projected = set(self.membership)
+        if statement.member_digest != member_set_digest(projected):
+            return "statement covers a different member set"
+        return None
+
+
+__all__ = ["QuorumMemberProtocol", "QuorumVerifier"]

@@ -471,12 +471,106 @@ class ShardFailed(TelemetryEvent):
     groups: int
 
 
+# quorum (Byzantine leader replication) ---------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class AttestationIssued(TelemetryEvent):
+    """A replica co-signed one mutation statement."""
+
+    node: str
+    session: str
+    record_seq: int
+    epoch: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class AttestationRefused(TelemetryEvent):
+    """A replica declined to attest (conflicting statement for a seq it
+    already signed, or its shipped journal replica failed to replay)."""
+
+    node: str
+    session: str
+    reason: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class CertificateIssued(TelemetryEvent):
+    """The primary assembled a quorum certificate for one mutation."""
+
+    node: str
+    session: str
+    record_seq: int
+    epoch: int
+    signers: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class CertificateVerified(TelemetryEvent):
+    """A member verified a mutation's quorum certificate and applied it."""
+
+    node: str
+    session: str
+    epoch: int
+    signers: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class EquivocationDetected(TelemetryEvent):
+    """Two valid attestation sets conflict for one epoch/seq.
+
+    ``evidence`` is the hex-encoded signed
+    :class:`~repro.quorum.attestation.EquivocationEvidence` blob —
+    self-contained proof any key-holding party can re-verify."""
+
+    node: str
+    session: str
+    accused: str
+    epoch: int
+    evidence: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ViewChangeStarted(TelemetryEvent):
+    """The quorum began evicting a faulty replica."""
+
+    session: str
+    accused: str
+    reason: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ReplicaEvicted(TelemetryEvent):
+    """A replica was removed from the quorum (its attestations are now
+    rejected by every verifier that learns of the eviction)."""
+
+    session: str
+    replica: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ViewChangeCompleted(TelemetryEvent):
+    """A new primary took over and re-keyed at a strictly higher epoch."""
+
+    session: str
+    new_primary: str
+    epoch: int
+
+
 # -- rejection classification ------------------------------------------------
 
 _REPLAY_MARKERS = ("replay", "stale nonce")
 _INTEGRITY_MARKERS = (
     "authentication", "identity mismatch", "malformed", "undecodable",
-    "group-key check",
+    "group-key check", "certificate", "uncertified", "attestation",
 )
 
 

@@ -14,6 +14,8 @@ from repro.attacks import (
     ForgedDenialAttack,
     ForgedRemovalAttack,
     ImpersonationAttack,
+    QuorumEquivocationAttack,
+    QuorumForgeryAttack,
     RekeyReplayAttack,
     StaleSessionKeyAttack,
     run_attack_matrix,
@@ -75,6 +77,35 @@ class TestRequirementAttacks:
         assert not attack.run_itgm().succeeded
 
 
+class TestByzantineAttacks:
+    """The §6/§7 trusted-leader limit, and the quorum layer closing it.
+
+    For these two the "legacy" column is the *trusted-leader*
+    deployment (the improved §3.2 stack without the quorum layer) —
+    channel authentication alone cannot help when the authenticated
+    endpoint is the attacker."""
+
+    def test_forgery_succeeds_against_a_trusted_leader(self):
+        result = QuorumForgeryAttack().run_legacy()
+        assert result.succeeded, result.detail
+        assert "fabricated key" in result.detail
+
+    def test_forgery_blocked_by_certificates(self):
+        """Both of the lone primary's moves: bare mutation (rule 1)
+        and a self-signed below-threshold certificate (rule 2)."""
+        result = QuorumForgeryAttack().run_itgm()
+        assert not result.succeeded, result.detail
+        assert "refused both attempts" in result.detail
+
+    def test_equivocation_succeeds_against_a_trusted_leader(self):
+        result = QuorumEquivocationAttack().run_legacy()
+        assert result.succeeded, result.detail
+
+    def test_equivocation_detected_and_attributed(self):
+        result = QuorumEquivocationAttack().run_itgm()
+        assert not result.succeeded, result.detail
+
+
 class TestMatrix:
     def test_every_row_as_predicted(self):
         rows = run_attack_matrix()
@@ -85,7 +116,7 @@ class TestMatrix:
 
     def test_matrix_covers_all_attacks(self):
         rows = run_attack_matrix()
-        assert len(rows) == len(ALL_ATTACKS) == 7
+        assert len(rows) == len(ALL_ATTACKS) == 9
 
     def test_improved_blocks_everything(self):
         rows = run_attack_matrix()
@@ -96,6 +127,13 @@ class TestMatrix:
         by_name = {row.attack: row for row in rows}
         for name in ("forged-denial", "forged-removal", "rekey-replay"):
             assert by_name[name].legacy.succeeded
+
+    def test_trusted_leader_falls_to_the_byzantine_attacks(self):
+        rows = run_attack_matrix()
+        by_name = {row.attack: row for row in rows}
+        for name in ("quorum-forgery", "quorum-equivocation"):
+            assert by_name[name].legacy.succeeded
+            assert not by_name[name].itgm.succeeded
 
     def test_deterministic_across_seeds(self):
         for seed in (0, 1, 99):

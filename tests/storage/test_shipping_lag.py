@@ -1,0 +1,197 @@
+"""Follower-lag edge cases for journal shipping.
+
+Two shapes the main shipping suite does not pin down:
+
+* **promote-while-behind with a torn tail record** — the follower's
+  last delta is cut off mid-record (the primary died mid-send).  The
+  replay's prefix guarantee applies to the *replica* too: promotion
+  re-hosts the state up to the last whole record, and only members
+  whose mutations rode the torn tail fall back to re-authentication.
+* **follower restart mid-stream** — a standby that loses its replica
+  and rejoins the stream is useless (and must refuse promotion) until
+  it is re-primed with a base snapshot; after priming it is warm again.
+"""
+
+import pytest
+
+from repro.crypto.keys import KEY_LEN, KeyMaterial
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import AppMessage, UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.failover import ManagerSet
+from repro.enclaves.itgm.member import MemberProtocol, MemberState
+from repro.exceptions import RecoveryError
+from repro.storage.journal import Journal
+from repro.storage.shipping import JournalFollower, JournalShipper, promote
+from repro.storage.simdisk import SimDisk
+from repro.wire.labels import Label
+
+MEMBER_IDS = ("alice", "bob")
+
+
+class Fixture:
+    """Two managers, a journaled primary, one shipping follower."""
+
+    def __init__(self, seed=29):
+        rng = DeterministicRandom(seed)
+        self.net = SyncNetwork()
+        self.directory = UserDirectory()
+        creds = {
+            uid: self.directory.register_password(uid, f"pw-{uid}")
+            for uid in MEMBER_IDS
+        }
+        self.managers = ManagerSet.create(
+            2, self.directory, rng=rng.fork("mgrs")
+        )
+        for manager_id, manager in self.managers.managers.items():
+            wire(self.net, manager_id, manager)
+        self.members = {
+            uid: MemberProtocol(creds[uid], "mgr-0", rng.fork(uid))
+            for uid in MEMBER_IDS
+        }
+        for uid, member in self.members.items():
+            wire(self.net, uid, member)
+        self.storage_key = KeyMaterial(
+            rng.fork("storage").key_material(KEY_LEN)
+        )
+        self.journal = Journal(
+            SimDisk(rng=rng.fork("disk")), "mgr-0.wal", self.storage_key,
+            rng=rng.fork("seal"), node="mgr-0",
+        )
+        self.journal.attach(self.managers.primary)
+        self.shipper = JournalShipper(self.journal)
+        self.follower = JournalFollower("mgr-1", self.storage_key)
+        self.shipper.add_follower(
+            self.follower, leader=self.managers.primary
+        )
+
+    def join_all(self):
+        for member in self.members.values():
+            self.net.post(member.start_join())
+            self.net.run()
+        return self
+
+    def handshakes(self):
+        return sum(
+            1 for e in self.net.wire_log
+            if e.label is Label.AUTH_INIT_REQ
+        )
+
+    def fail_over(self):
+        """Primary dies; the follower promotes in its place."""
+        self.managers.fail_primary()
+        promoted = promote(self.follower, self.managers)
+        wire(self.net, "mgr-0", promoted)
+        return promoted
+
+
+class TestTornTail:
+    def test_promote_with_torn_tail_record_keeps_the_prefix(self):
+        """The torn record behaves like an unshipped one: promotion
+        succeeds on the whole-record prefix, and exactly the member
+        whose mutation rode the torn record re-authenticates."""
+        fx = Fixture().join_all()
+        fx.net.post_all(
+            fx.managers.primary.broadcast_admin(TextPayload("shipped")))
+        fx.net.run()
+
+        # Alice's admin exchange ships one more delta — and then the
+        # primary dies mid-send: that last record reaches the follower
+        # cut off partway.  The framing is gone, so replay truncates at
+        # the tear instead of erroring out.
+        tail_before = len(fx.follower._tail)
+        fx.net.post_all(fx.managers.primary.send_admin_to(
+            "alice", TextPayload("torn")))
+        fx.net.run()
+        assert len(fx.follower._tail) > tail_before
+        fx.follower._tail = fx.follower._tail[: tail_before + 1]
+        fx.follower._tail[-1] = fx.follower._tail[-1][
+            : len(fx.follower._tail[-1]) // 2
+        ]
+        result = fx.follower.replay()
+        assert result.truncated
+        assert result.last_seq < fx.follower.applied_seq
+
+        before = fx.handshakes()
+        promoted = fx.fail_over()  # prefix promotion: must not raise
+
+        # Bob never touched the torn suffix: warm, zero new handshakes.
+        fx.net.post(fx.members["bob"].seal_app(b"still warm"))
+        fx.net.run()
+        assert [
+            e.payload for e in fx.net.events_of("alice", AppMessage)
+        ] == [b"still warm"]
+        assert fx.handshakes() == before
+
+        # Alice is one admin exchange ahead of the promoted leader; the
+        # supervisor repair path is abort + rejoin — exactly one
+        # re-authentication.
+        fx.net.post_all(promoted.abort_session("alice"))
+        fx.net.run()
+        fx.members["alice"]._reset_session()
+        fx.net.post(fx.members["alice"].start_join())
+        fx.net.run()
+        assert fx.handshakes() == before + 1
+        for member in fx.members.values():
+            assert member.state is MemberState.CONNECTED
+            assert member.group_epoch == promoted.group_epoch
+
+    def test_torn_base_snapshot_refuses_promotion(self):
+        """A tear inside the *base* record leaves no replayable prefix
+        at all — promotion must refuse rather than re-host emptiness."""
+        fx = Fixture().join_all()
+        fx.shipper.detach()
+        restarted = JournalFollower("mgr-1", fx.storage_key)
+        record = fx.journal.make_snapshot_record(fx.managers.primary)
+        restarted.receive(record[: len(record) // 2],
+                          fx.journal.seq, "snapshot")
+        fx.managers.fail_primary()
+        with pytest.raises(RecoveryError):
+            promote(restarted, fx.managers)
+
+
+class TestFollowerRestart:
+    def test_restarted_follower_refuses_promotion_until_reprimed(self):
+        """After a standby restart the replica is empty; deltas arriving
+        mid-stream are discarded (offered > applied), and promote()
+        refuses the gap loudly."""
+        fx = Fixture().join_all()
+        # Restart: a fresh follower object takes mgr-1's place on the
+        # stream with no base and no tail.
+        fx.shipper.followers.remove(fx.follower)
+        restarted = JournalFollower("mgr-1", fx.storage_key)
+        fx.shipper.followers.append(restarted)  # NOT primed
+
+        fx.net.post_all(fx.managers.primary.rekey_now())
+        fx.net.run()
+        assert restarted.offered_seq > restarted.applied_seq
+        assert restarted.records == 0  # deltas without a base: discarded
+
+        fx.managers.fail_primary()
+        with pytest.raises(RecoveryError, match="dropped records"):
+            promote(restarted, fx.managers)
+
+    def test_reprimed_follower_is_warm_again(self):
+        """Re-adding the restarted follower *with the leader* ships a
+        fresh base at the current head: it promotes warm, sessions
+        intact, zero new handshakes."""
+        fx = Fixture().join_all()
+        fx.shipper.followers.remove(fx.follower)
+        restarted = JournalFollower("mgr-1", fx.storage_key)
+        fx.shipper.add_follower(restarted, leader=fx.managers.primary)
+        assert restarted.applied_seq == fx.journal.seq
+
+        fx.net.post_all(fx.managers.primary.rekey_now())
+        fx.net.run()
+        assert restarted.applied_seq == fx.journal.seq  # following again
+
+        handshakes_before = fx.handshakes()
+        fx.follower = restarted
+        fx.fail_over()
+        fx.net.post(fx.members["alice"].seal_app(b"warm takeover"))
+        fx.net.run()
+        assert [
+            e.payload for e in fx.net.events_of("bob", AppMessage)
+        ] == [b"warm takeover"]
+        assert fx.handshakes() == handshakes_before

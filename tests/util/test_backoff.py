@@ -1,0 +1,136 @@
+"""Unit tests for the unified retry backoff policy."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.util.backoff import BackoffPolicy, constant
+
+
+class TestRawSchedule:
+    def test_exponential_growth(self):
+        policy = BackoffPolicy(base=0.25, factor=2.0, max_delay=100.0,
+                               mode="none")
+        assert policy.schedule(4) == [0.25, 0.5, 1.0, 2.0]
+
+    def test_cap(self):
+        policy = BackoffPolicy(base=0.25, factor=2.0, max_delay=2.0,
+                               mode="none")
+        assert policy.delay(10) == 2.0
+
+    def test_no_rng_means_no_jitter(self):
+        policy = BackoffPolicy(jitter=0.5, mode="full")
+        assert policy.delay(1) == policy.raw_delay(1)
+
+    def test_zero_jitter_consumes_no_randomness(self):
+        rng = DeterministicRandom(1)
+        before = rng.random_bytes(8)
+        rng2 = DeterministicRandom(1)
+        assert rng2.random_bytes(8) == before  # sanity: same stream
+        policy = BackoffPolicy(jitter=0.0, mode="full")
+        rng3 = DeterministicRandom(1)
+        policy.delay(0, rng3)
+        assert rng3.random_bytes(8) == before  # stream untouched
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)
+
+
+class TestJitterModes:
+    def test_centered_matches_historical_formula(self):
+        """The supervisor's pre-unification formula, reproduced exactly."""
+        policy = BackoffPolicy(base=0.25, factor=2.0, max_delay=2.0,
+                               jitter=0.5, mode="centered")
+        for attempt in range(6):
+            rng = DeterministicRandom(42).fork("supervisor-jitter")
+            # Burn the same number of draws the loop would have made.
+            for _ in range(attempt):
+                rng.random_bytes(8)
+            expected_rng = DeterministicRandom(42).fork("supervisor-jitter")
+            for _ in range(attempt):
+                expected_rng.random_bytes(8)
+            raw = int.from_bytes(expected_rng.random_bytes(8), "big")
+            u = raw / float(1 << 64)
+            expected = min(2.0, 0.25 * 2.0 ** attempt) * (1.0 + 0.5 * (u - 0.5))
+            assert policy.delay(attempt, rng) == expected
+
+    def test_centered_bounds(self):
+        policy = BackoffPolicy(jitter=0.5, mode="centered")
+        rng = DeterministicRandom(7)
+        for attempt in range(50):
+            d = policy.delay(attempt, rng)
+            raw = policy.raw_delay(attempt)
+            assert raw * 0.75 <= d <= raw * 1.25
+
+    def test_full_jitter_bounds(self):
+        policy = BackoffPolicy(jitter=1.0, mode="full")
+        rng = DeterministicRandom(9)
+        for attempt in range(50):
+            d = policy.delay(attempt, rng)
+            assert 0.0 <= d <= policy.raw_delay(attempt)
+
+    def test_full_jitter_spreads(self):
+        """Distinct draws land in distinct places (decorrelation)."""
+        policy = BackoffPolicy(jitter=1.0, mode="full", max_delay=10.0)
+        rng = DeterministicRandom(3)
+        delays = {policy.delay(5, rng) for _ in range(20)}
+        assert len(delays) > 15
+
+    def test_deterministic_per_seed(self):
+        policy = BackoffPolicy(mode="full")
+        a = policy.schedule(8, DeterministicRandom(5))
+        b = policy.schedule(8, DeterministicRandom(5))
+        assert a == b
+
+    def test_eight_bytes_per_draw(self):
+        policy = BackoffPolicy(mode="full")
+        rng_used = DeterministicRandom(11)
+        policy.delay(0, rng_used)
+        rng_ref = DeterministicRandom(11)
+        rng_ref.random_bytes(8)
+        assert rng_used.random_bytes(4) == rng_ref.random_bytes(4)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"base": -1.0},
+        {"factor": 0.5},
+        {"max_delay": -0.1},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"mode": "bogus"},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+
+class TestConstant:
+    def test_every_attempt_identical(self):
+        policy = constant(0.5)
+        assert policy.schedule(6) == [0.5] * 6
+
+    def test_rng_ignored(self):
+        policy = constant(0.5)
+        rng = DeterministicRandom(1)
+        assert policy.delay(3, rng) == 0.5
+        # And nothing was consumed.
+        assert rng.random_bytes(8) == DeterministicRandom(1).random_bytes(8)
+
+
+class TestSupervisorIntegration:
+    def test_supervisor_config_policy_is_centered(self):
+        from repro.enclaves.itgm.supervisor import SupervisorConfig
+
+        cfg = SupervisorConfig()
+        policy = cfg.backoff_policy()
+        assert policy.mode == "centered"
+        assert policy.base == cfg.backoff_base
+        assert policy.max_delay == cfg.backoff_max
+
+    def test_fabric_config_policy_is_fixed_interval(self):
+        from repro.fabric.scale import FabricConfig
+
+        cfg = FabricConfig()
+        policy = cfg.retry_policy()
+        assert policy.schedule(4) == [cfg.retransmit_interval] * 4
