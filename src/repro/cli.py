@@ -36,6 +36,15 @@ Commands
     with optional deterministic JSONL export; exits nonzero whenever
     the quorum stack violates an invariant or misses a detection — or
     the single-leader baseline fails to fail.
+``obs``
+    The observability toolkit over a seeded quorum-on-fabric scenario:
+    ``trace`` reconstructs and renders the causal DAG of a join
+    (member → shard demux → leader core → certification → WAL →
+    multicast) and fails on orphan events; ``profile`` attributes
+    phase time (seal/open/demux/certify/wal/multicast) flamegraph-
+    style; ``slo`` evaluates multi-window burn rates over a soak and
+    fails on burn; ``flightrec`` runs a seeded equivocation soak with
+    the crash flight recorder attached and dumps the forensic bundle.
 
 Invoked with no command (or an unknown one), the CLI prints the full
 command list and exits nonzero.
@@ -45,10 +54,44 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.formal.model import ModelConfig
 from repro.formal.render import render_figure2, render_figure3, render_figure4
 from repro.formal.verify import verify_protocol
+
+
+@contextmanager
+def _capture_default_bus(path: str | None):
+    """Export DEFAULT_BUS events around a scenario as deterministic JSONL.
+
+    The demo/attack scenario builders construct their stacks with no
+    telemetry plumbing; every component falls back to the process-wide
+    default bus, so subscribing there observes everything.  The bus
+    clock is swapped to a logical :class:`~repro.util.clock.TickClock`
+    (and the sequence counter reset) for the duration, restored after,
+    and the written file is schema-validated before the command exits.
+    """
+    if not path:
+        yield
+        return
+    from repro.telemetry import DEFAULT_BUS, attach_jsonl, validate_jsonl
+    from repro.util.clock import TickClock
+
+    bus = DEFAULT_BUS
+    old_clock, old_seq = bus.clock, bus.seq
+    bus.set_clock(TickClock())
+    bus.reset_seq()
+    exporter = attach_jsonl(bus, path)
+    try:
+        yield
+    finally:
+        bus.unsubscribe(exporter)
+        exporter.close()
+        bus.set_clock(old_clock)
+        bus.reset_seq(old_seq)
+    validate_jsonl(path)
+    print(f"wrote {path} ({exporter.lines_written} events, schema-valid)")
 
 
 def _run_demo_session(seed: int):
@@ -199,9 +242,13 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     )
     print(report.summary())
     if exporter is not None:
+        from repro.telemetry import validate_jsonl
+
         exporter.close()
+        validate_jsonl(args.telemetry)
         print(summary.render())
-        print(f"wrote {args.telemetry} ({exporter.lines_written} events)")
+        print(f"wrote {args.telemetry} ({exporter.lines_written} events, "
+              "schema-valid)")
     return 0 if report.views_consistent else 1
 
 
@@ -242,9 +289,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     report = run_soak(config, telemetry=bus)
     print(report.format_table())
     if exporter is not None:
+        from repro.telemetry import validate_jsonl
+
         exporter.close()
+        validate_jsonl(args.telemetry)
         print(summary.render())
-        print(f"wrote {args.telemetry} ({exporter.lines_written} events)")
+        print(f"wrote {args.telemetry} ({exporter.lines_written} events, "
+              "schema-valid)")
     if args.stack == "itgm":
         return 0 if report.converged and report.safe else 1
     return 0
@@ -433,11 +484,14 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     if args.mode == "migrate":
         from repro.fabric import run_migration_demo
 
-        demo = run_migration_demo(args.seed)
-        print(demo.format_report())
+        with _capture_default_bus(args.telemetry):
+            demo = run_migration_demo(args.seed)
+            print(demo.format_report())
         return 0 if demo.ok else 1
     if args.mode == "demo":
-        return _fabric_demo(args.seed)
+        with _capture_default_bus(args.telemetry):
+            status = _fabric_demo(args.seed)
+        return status
 
     from repro.fabric import FabricConfig, run_fabric_soak
 
@@ -458,8 +512,12 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     )
     print(report.format_table())
     if exporter is not None:
+        from repro.telemetry import validate_jsonl
+
         exporter.close()
-        print(f"wrote {args.telemetry} ({exporter.lines_written} events)")
+        validate_jsonl(args.telemetry)
+        print(f"wrote {args.telemetry} ({exporter.lines_written} events, "
+              "schema-valid)")
     return 0 if (
         report.safe and report.isolated and report.converged
     ) else 1
@@ -547,9 +605,13 @@ def _fabric_demo(seed: int) -> int:
 
 def _cmd_quorum(args: argparse.Namespace) -> int:
     if args.mode == "demo":
-        return _quorum_demo(args.seed)
+        with _capture_default_bus(args.telemetry):
+            status = _quorum_demo(args.seed)
+        return status
     if args.mode == "attack":
-        return _quorum_attack(args.seed)
+        with _capture_default_bus(args.telemetry):
+            status = _quorum_attack(args.seed)
+        return status
 
     # soak: the full Byzantine fault × stack comparison grid.
     from repro.quorum import (
@@ -651,6 +713,227 @@ def _quorum_attack(seed: int) -> int:
         return 0
     print("\ndeviation from the quorum claim!")
     return 1
+
+
+def _obs_scenario(seed: int, bus, profiler=None):
+    """One seeded quorum-on-fabric group: the obs commands' workload.
+
+    A replica set hosted behind a shard demux, certificate-verifying
+    members routed by the directory — so one join's causal chain spans
+    every layer: member handshake → GROUP_WRAP demux → leader core →
+    quorum certification → WAL → admin multicast.  Returns
+    ``(net, shard, qs, members)`` after joins, one sealed app message,
+    and one leader-initiated certified rekey.
+    """
+    from repro.crypto.rng import DeterministicRandom
+    from repro.enclaves.common import UserDirectory
+    from repro.enclaves.harness import SyncNetwork, wire
+    from repro.fabric import GroupDirectory, ShardHost
+    from repro.quorum.fabric import host_quorum_group, quorum_fabric_member
+    from repro.storage.simdisk import SimDisk
+
+    group_id = "grp-obs"
+    rng = DeterministicRandom(seed)
+    users = UserDirectory()
+    net = SyncNetwork(telemetry=bus)
+    fabric = GroupDirectory(
+        ["shard-a"], rng=rng.fork("directory"), telemetry=bus
+    )
+    shard = ShardHost(
+        "shard-a", SimDisk(rng=rng.fork("disk")),
+        rng=rng.fork("shard"), telemetry=bus,
+    )
+    wire(net, "shard-a", shard)
+    fabric.create_group(group_id)
+    qs = host_quorum_group(
+        shard, users, group_id, rng=rng.fork("quorum"), telemetry=bus
+    )
+    if profiler is not None:
+        shard.bind_profiler(profiler)
+        qs.leader.bind_profiler(profiler)
+        qs.journal.bind_profiler(profiler)
+
+    members = {}
+    for name in ("alice", "bob", "carol"):
+        creds = users.register_password(name, f"pw-{name}")
+        fm = quorum_fabric_member(
+            creds, group_id, fabric, qs, rng=rng.fork(name), telemetry=bus
+        )
+        members[name] = fm
+        wire(net, name, fm)
+        if profiler is not None:
+            fm.protocol.bind_profiler(profiler)
+        net.post_all(fm.start_join())
+        net.run()
+    net.post(members["alice"].seal_app(b"hello observable group"))
+    net.run()
+    net.post_all(qs.leader.rekey_now())
+    net.run()
+    return net, shard, qs, members
+
+
+def _obs_trace(args: argparse.Namespace) -> int:
+    from repro.observability import TraceBuilder
+    from repro.telemetry import EventBus, attach_jsonl, validate_jsonl
+    from repro.util.clock import TickClock
+
+    bus = EventBus(TickClock())
+    builder = TraceBuilder()
+    bus.subscribe(builder)
+    exporter = attach_jsonl(bus, args.out) if args.out else None
+    _obs_scenario(args.seed, bus)
+    if exporter is not None:
+        exporter.close()
+        validate_jsonl(args.out)
+
+    graph = builder.build()
+    root = graph.find("JoinStarted", node="alice")
+    if root is None:
+        print("no JoinStarted event observed!", file=sys.stderr)
+        return 1
+    print(f"causal trace — {len(graph)} events, seed={args.seed}")
+    print()
+    print(graph.render(root.seq))
+    orphans = graph.orphans()
+    spanned = {graph.nodes[s].name for s in graph.descendants(root.seq)}
+    print()
+    print(f"join operation spans {len(graph.descendants(root.seq))} events: "
+          + ", ".join(sorted(spanned)))
+    if args.out:
+        print(f"wrote {args.out} (schema-valid)")
+    if orphans:
+        print(f"\n{len(orphans)} orphan event(s) — causal model has holes:")
+        for node in orphans:
+            print(f"  {node.describe()}")
+        return 1
+    print("no orphan events: every event anchors to an operation root")
+    return 0
+
+
+#: Leaf phase names the profiled workload must exercise.
+_EXPECTED_PHASES = ("seal", "open", "demux", "certify",
+                    "wal.append", "multicast")
+
+
+def _obs_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.observability import PhaseProfiler
+    from repro.telemetry import EventBus
+    from repro.util.clock import TickClock
+
+    # The profiler gets its own tick clock: sharing the bus clock
+    # would make profiling perturb event timestamps.
+    bus = EventBus(TickClock())
+    bus.subscribe(lambda record: None)  # keep emission paths live
+    profiler = PhaseProfiler(TickClock())
+    _obs_scenario(args.seed, bus, profiler=profiler)
+
+    print(f"phase profile — seed={args.seed} (logical ticks)")
+    print()
+    print(profiler.render())
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(_json.dumps(profiler.as_dict(), sort_keys=True,
+                                indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    leaves = {path.split("/")[-1] for path in profiler.phases()}
+    missing = [name for name in _EXPECTED_PHASES if name not in leaves]
+    if missing:
+        print(f"\nmissing expected phase(s): {', '.join(missing)}")
+        return 1
+    return 0
+
+
+def _obs_slo(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.observability import SLOEvaluator
+    from repro.telemetry import EventBus
+    from repro.util.clock import TickClock
+
+    evaluator = SLOEvaluator()
+    if args.scenario == "chaos":
+        from repro.chaos import SoakConfig, clip_to_duration, run_soak
+
+        bus = EventBus()
+        bus.subscribe(evaluator)
+        run_soak(
+            clip_to_duration(SoakConfig(
+                seed=args.seed, duration=args.duration,
+            )),
+            telemetry=bus,
+        )
+    else:  # equivocation
+        from repro.quorum import run_quorum_soak
+
+        bus = EventBus(TickClock())
+        bus.subscribe(evaluator)
+        run_quorum_soak(
+            "equivocation", stack="quorum", seed=args.seed, telemetry=bus,
+        )
+
+    print(f"SLO evaluation — scenario={args.scenario}, seed={args.seed}")
+    print()
+    print(evaluator.render())
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(_json.dumps(
+                [r.as_dict() for r in evaluator.report()],
+                sort_keys=True, indent=2,
+            ) + "\n")
+        print(f"\nwrote {args.out}")
+    burning = evaluator.burning()
+    if burning:
+        print(f"\n{len(burning)} SLO(s) burning: "
+              + ", ".join(r.spec.name for r in burning))
+        return 1
+    print("\nall SLOs within budget")
+    return 0
+
+
+def _obs_flightrec(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        FlightRecorder,
+        render_bundle,
+        write_bundle,
+    )
+    from repro.quorum import run_quorum_soak
+    from repro.telemetry import EventBus
+    from repro.util.clock import TickClock
+
+    bus = EventBus(TickClock())
+    recorder = FlightRecorder()
+    bus.subscribe(recorder)
+    report = run_quorum_soak(
+        "equivocation", stack="quorum", seed=args.seed, telemetry=bus,
+    )
+    print(f"flight recorder — seeded equivocation soak, seed={args.seed}")
+    print(f"  soak: detected={report.detected}, "
+          f"view changes={report.view_changes}")
+    if not recorder.bundles:
+        print("  no terminal event observed — nothing recorded!")
+        return 1
+    bundle = recorder.bundles[0]
+    print(f"  {len(recorder.bundles)} bundle(s) captured")
+    print()
+    print(render_bundle(bundle))
+    if args.out:
+        write_bundle(bundle, args.out)
+        print(f"\nwrote {args.out} "
+              f"({len(bundle['ring'])} ring events, "
+              f"{len(bundle['trace'])} trace events)")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "trace": _obs_trace,
+        "profile": _obs_profile,
+        "slo": _obs_slo,
+        "flightrec": _obs_flightrec,
+    }
+    return handlers[args.mode](args)
 
 
 class _HelpfulParser(argparse.ArgumentParser):
@@ -787,7 +1070,8 @@ def build_parser() -> argparse.ArgumentParser:
     fabric.add_argument("--duration", type=float, default=40.0,
                         help="virtual seconds of soak workload")
     fabric.add_argument("--telemetry", metavar="PATH",
-                        help="export the soak's event stream as JSONL")
+                        help="export the run's event stream as JSONL "
+                             "(schema-validated before exit)")
     fabric.set_defaults(func=_cmd_fabric)
 
     quorum = sub.add_parser(
@@ -806,7 +1090,33 @@ def build_parser() -> argparse.ArgumentParser:
     quorum.add_argument("--out", metavar="PATH",
                         help="export the soak's event stream as "
                              "deterministic JSONL (soak mode only)")
+    quorum.add_argument("--telemetry", metavar="PATH",
+                        help="export the demo/attack event stream as "
+                             "deterministic JSONL (demo/attack modes)")
     quorum.set_defaults(func=_cmd_quorum)
+
+    obs = sub.add_parser(
+        "obs",
+        help="causal traces / phase profiles / SLO burn / flight recorder",
+    )
+    obs.add_argument("mode",
+                     choices=("trace", "profile", "slo", "flightrec"),
+                     help="reconstruct a causal join trace, attribute "
+                          "phase time, evaluate SLO burn rates, or dump "
+                          "a flight-recorder bundle from a seeded "
+                          "equivocation incident")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--scenario", choices=("chaos", "equivocation"),
+                     default="chaos",
+                     help="workload for slo mode (chaos soak stays "
+                          "within budget; equivocation burns)")
+    obs.add_argument("--duration", type=float, default=60.0,
+                     help="virtual seconds of soak (slo chaos scenario)")
+    obs.add_argument("--out", metavar="PATH",
+                     help="write the mode's artifact (trace: JSONL "
+                          "events; profile/slo: JSON; flightrec: the "
+                          "JSONL bundle)")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

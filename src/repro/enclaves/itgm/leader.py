@@ -53,6 +53,7 @@ from repro.telemetry.events import (
     MemberDeparted,
     MemberExpelled,
     RekeyIssued,
+    frame_id,
     rejection_event,
     resolve_bus,
 )
@@ -119,6 +120,12 @@ class GroupLeader:
         self._group_epoch = -1
         self._last_rekey = self._clock.now()
         self._journal = None
+        #: frame id of the envelope currently being handled — the
+        #: causal parent for events (and journal appends) its dispatch
+        #: produces.  Empty for leader-initiated mutations.
+        self._cause = ""
+        #: optional PhaseProfiler (observability); None when off.
+        self._profiler = None
         self.stats = LeaderStats()
 
     # -- durability hook ----------------------------------------------------
@@ -133,6 +140,11 @@ class GroupLeader:
         state the journal lost.  Pass ``None`` to detach.
         """
         self._journal = journal
+
+    def bind_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.observability.profile.PhaseProfiler`
+        to the open/multicast hot paths (None detaches)."""
+        self._profiler = profiler
 
     def _checkpoint(self) -> None:
         if self._journal is not None:
@@ -184,27 +196,31 @@ class GroupLeader:
 
     def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         """Process one envelope; returns (outgoing, events)."""
+        if self._telemetry:
+            self._cause = frame_id(envelope)
         out, events = self._dispatch(envelope)
         self._checkpoint()
         if self._telemetry:
             self._publish(envelope, events)
+            self._cause = ""
         return out, events
 
     def _publish(self, envelope: Envelope, events: list[Event]) -> None:
         """Map protocol events for one handled frame onto the bus."""
         bus = self._telemetry
+        fid = frame_id(envelope)
         for event in events:
             if isinstance(event, Rejected):
                 bus.emit(rejection_event(
                     self.leader_id, event.reason, event.label, envelope
                 ))
             elif isinstance(event, Joined):
-                bus.emit(AuthAccepted(self.leader_id, event.user_id))
+                bus.emit(AuthAccepted(self.leader_id, event.user_id, fid))
             elif isinstance(event, Left):
-                bus.emit(MemberDeparted(self.leader_id, event.user_id))
+                bus.emit(MemberDeparted(self.leader_id, event.user_id, fid))
             elif isinstance(event, Denied):
                 bus.emit(JoinDenied(
-                    self.leader_id, event.user_id, event.reason
+                    self.leader_id, event.user_id, event.reason, fid
                 ))
 
     def _dispatch(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
@@ -302,9 +318,9 @@ class GroupLeader:
         self._last_rotation_was_eviction = eviction
         self.stats.rekeys += 1
         if self._telemetry:
-            self._telemetry.emit(
-                RekeyIssued(self.leader_id, self._group_epoch, eviction)
-            )
+            self._telemetry.emit(RekeyIssued(
+                self.leader_id, self._group_epoch, eviction, self._cause
+            ))
 
     def _current_key_payload(self) -> NewGroupKeyPayload:
         assert self._group_key is not None
@@ -443,11 +459,15 @@ class GroupLeader:
 
     def _pump(self) -> list[Envelope]:
         """Send the next queued payload on every idle admin channel."""
+        prof = self._profiler
+        tok = prof.begin("multicast") if prof else None
         out: list[Envelope] = []
         for user_id, session in self._sessions.items():
             outbox = self._outboxes[user_id]
             if outbox and session.can_send_admin:
                 out.append(session.send_admin(outbox.popleft()))
+        if prof:
+            prof.end(tok)
         return out
 
     # -- application relay (Figure 1) --------------------------------------------
@@ -468,6 +488,8 @@ class GroupLeader:
         # leader re-seals under the current key so every recipient can
         # read them (the leader is trusted, so re-sealing is sound).
         body = envelope.body
+        prof = self._profiler
+        tok = prof.begin("open") if prof else None
         try:
             box = SealedBox.from_bytes(body)
             try:
@@ -482,14 +504,21 @@ class GroupLeader:
                 self.stats.grace_resealed += 1
             decode_fields(plain, expect=2)
         except (CodecError, IntegrityError):
+            if prof:
+                prof.end(tok)
             self.stats.rejected += 1
             return [], [Rejected("APP_DATA failed group-key check",
                                  envelope.label)]
+        if prof:
+            prof.end(tok)
+            tok = prof.begin("multicast")
         out = [
             Envelope(Label.APP_DATA, sender, other, body)
             for other in self.members
             if other != sender
         ]
+        if prof:
+            prof.end(tok)
         self.stats.relayed_frames += len(out)
         return out, []
 

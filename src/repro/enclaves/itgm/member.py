@@ -57,6 +57,7 @@ from repro.telemetry.events import (
     JoinCompleted,
     JoinStarted,
     RekeyInstalled,
+    frame_id,
     rejection_event,
     resolve_bus,
 )
@@ -122,6 +123,12 @@ class MemberProtocol:
         to the process-wide bus, which is a no-op until subscribed."""
         self.credentials = credentials
         self._telemetry = resolve_bus(telemetry)
+        #: frame id of the envelope currently being handled (causal
+        #: parent for events emitted while dispatching it).
+        self._cause = ""
+        #: optional PhaseProfiler (observability); None when profiling
+        #: is off so the hot-path guard is one attribute load.
+        self._profiler = None
         self.user_id = credentials.user_id
         self.leader_id = leader_id
         self._rng = rng if rng is not None else SystemRandom()
@@ -180,7 +187,9 @@ class MemberProtocol:
         )
         self._last_outbound = envelope
         if self._telemetry:
-            self._telemetry.emit(JoinStarted(self.user_id, self.leader_id))
+            self._telemetry.emit(JoinStarted(
+                self.user_id, self.leader_id, frame_id(envelope)
+            ))
         return envelope
 
     def retransmit_last(self) -> Envelope | None:
@@ -216,16 +225,22 @@ class MemberProtocol:
             raise StateError("must be connected to send application data")
         if self._group_cipher is None:
             raise StateError("no group key distributed yet")
+        prof = self._profiler
+        tok = prof.begin("seal") if prof else None
         body = self._group_cipher.seal(
             encode_fields([encode_str(self.user_id), payload]),
             app_ad(self.user_id),
         ).to_bytes()
+        if prof:
+            prof.end(tok)
         return Envelope(Label.APP_DATA, self.user_id, self.leader_id, body)
 
     # -- envelope handling --------------------------------------------------
 
     def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         """Process one incoming envelope; never raises on attacker input."""
+        if self._telemetry:
+            self._cause = frame_id(envelope)
         out, events = self._dispatch(envelope)
         if self._telemetry:
             self._publish(envelope, events)
@@ -245,22 +260,23 @@ class MemberProtocol:
     def _publish(self, envelope: Envelope, events: list[Event]) -> None:
         """Map protocol events for one handled frame onto the bus."""
         bus = self._telemetry
+        fid = frame_id(envelope)
         for event in events:
             if isinstance(event, Rejected):
                 bus.emit(rejection_event(
                     self.user_id, event.reason, event.label, envelope
                 ))
             elif isinstance(event, Joined):
-                bus.emit(JoinCompleted(self.user_id, self.leader_id))
+                bus.emit(JoinCompleted(self.user_id, self.leader_id, fid))
             elif isinstance(event, GroupKeyChanged):
                 bus.emit(RekeyInstalled(
                     self.user_id, self.leader_id,
-                    self._group_epoch, event.fingerprint,
+                    self._group_epoch, event.fingerprint, fid,
                 ))
             elif isinstance(event, AdminDelivered):
                 bus.emit(AdminAccepted(
                     self.user_id, self.leader_id,
-                    type(event.payload).__name__,
+                    type(event.payload).__name__, fid,
                 ))
 
     # -- message 2: AuthKeyDist ---------------------------------------------
@@ -422,6 +438,8 @@ class MemberProtocol:
     def _on_app_data(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         if self.state is not MemberState.CONNECTED or self._group_cipher is None:
             return [], [self._reject("APP_DATA without group key", envelope.label)]
+        prof = self._profiler
+        tok = prof.begin("open") if prof else None
         try:
             box = SealedBox.from_bytes(envelope.body)
             try:
@@ -435,8 +453,12 @@ class MemberProtocol:
                 )
             sender_b, payload = decode_fields(plain, expect=2)
         except (CodecError, IntegrityError):
+            if prof:
+                prof.end(tok)
             return [], [self._reject("APP_DATA failed group-key authentication",
                                      envelope.label)]
+        if prof:
+            prof.end(tok)
         sender = sender_b.decode("utf-8", errors="replace")
         if sender == self.user_id:
             return [], []  # our own frame echoed back; ignore
@@ -444,6 +466,11 @@ class MemberProtocol:
         return [], [AppMessage(sender, payload)]
 
     # -- internals ----------------------------------------------------------
+
+    def bind_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.observability.profile.PhaseProfiler`
+        to the seal/open hot paths (None detaches)."""
+        self._profiler = profiler
 
     def _reset_session(self) -> None:
         self.state = MemberState.NOT_CONNECTED

@@ -34,7 +34,12 @@ from repro.exceptions import RecoveryError, StateError
 from repro.fabric.directory import GroupDirectory
 from repro.fabric.shard import ShardHost
 from repro.storage.shipping import JournalFollower, JournalShipper
-from repro.telemetry.events import EventBus, GroupMigrated
+from repro.telemetry.events import (
+    EventBus,
+    GroupMigrated,
+    MigrationAborted,
+    MigrationStarted,
+)
 
 
 def rehost_cold(state: dict) -> dict:
@@ -118,6 +123,10 @@ def migrate_group(
 
     # 1. Quiesce: traffic stops mutating the group from here on.
     source.quiesce(group_id)
+    if telemetry:
+        telemetry.emit(MigrationStarted(
+            group_id, source.shard_id, target.shard_id
+        ))
     try:
         # 2. Checkpoint: the synced journal is the authoritative state.
         journal.sync()
@@ -150,8 +159,12 @@ def migrate_group(
             start_seq=result.last_seq + 1,
             rng=rng,
         )
-    except BaseException:
+    except BaseException as exc:
         source.resume(group_id)
+        if telemetry:
+            telemetry.emit(MigrationAborted(
+                group_id, source.shard_id, str(exc)
+            ))
         raise
 
     # The structural no-reuse guarantee, asserted: the re-hosted group

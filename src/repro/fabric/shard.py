@@ -39,6 +39,7 @@ from repro.telemetry.events import (
     FrameRejected,
     GroupHosted,
     GroupRedirected,
+    ShardDelivered,
     frame_id,
 )
 from repro.util.clock import Clock
@@ -119,7 +120,14 @@ class ShardHost:
         self._hosted: dict[str, _Hosted] = {}
         #: Groups that moved away: ``group id -> new shard or None``.
         self._departed: dict[str, str | None] = {}
+        #: optional PhaseProfiler (observability); None when off.
+        self._profiler = None
         self.stats = ShardStats()
+
+    def bind_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.observability.profile.PhaseProfiler`
+        to the demux path (None detaches)."""
+        self._profiler = profiler
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -268,6 +276,15 @@ class ShardHost:
     def handle(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         """Route one wrapped frame to its hosted leader."""
         self.stats.frames_in += 1
+        prof = self._profiler
+        tok = prof.begin("demux") if prof else None
+        try:
+            return self._demux(envelope)
+        finally:
+            if prof:
+                prof.end(tok)
+
+    def _demux(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
         if envelope.label is not Label.GROUP_WRAP:
             self.stats.malformed += 1
             reason = "shard endpoint accepts only GROUP_WRAP frames"
@@ -293,7 +310,7 @@ class ShardHost:
                 if self._telemetry:
                     self._telemetry.emit(GroupRedirected(
                         self.shard_id, group_id, inner.sender,
-                        target or "",
+                        target or "", frame_id(envelope),
                     ))
                 return (
                     [redirect_envelope(
@@ -311,6 +328,13 @@ class ShardHost:
             return [], [Rejected(reason, envelope.label)]
 
         self.stats.delivered += 1
+        if self._telemetry:
+            # The causal splice: wrapper id -> inner id, the inner id
+            # being what the hosted leader's events carry as caused_by.
+            self._telemetry.emit(ShardDelivered(
+                self.shard_id, group_id, inner.sender,
+                frame_id(envelope), frame_id(inner),
+            ))
         return entry.leader.handle(inner)
 
     def _reject_frame(self, envelope: Envelope, reason: str) -> None:

@@ -1,0 +1,290 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SLOSpec` names a service-level indicator over the event
+stream, an objective (the fraction of good outcomes promised), and the
+bound that separates good from bad.  The :class:`SLOEvaluator` is a bus
+subscriber that derives (timestamp, good/bad) samples for each
+indicator as events arrive, and evaluates Google-SRE-style
+**multi-window burn rates** on demand:
+
+    burn rate = (bad fraction in window) / (error budget)
+              = bad/(bad+good) / (1 - objective)
+
+A burn rate of 1 spends the error budget exactly at the objective's
+pace; an SLO is **burning** when *both* its long and its short window
+exceed the spec's threshold — the long window filters noise, the short
+window confirms the problem is still live (a recovered incident stops
+burning even though the long window still remembers it).
+
+Indicators shipped (all derived, none instrumented):
+
+* ``join_latency`` — ``JoinStarted`` → ``JoinCompleted`` per (member,
+  leader); good when the handshake completes within the bound.  A join
+  still open at evaluation time older than the bound counts bad.
+* ``rekey_propagation`` — ``RekeyIssued`` → ``RekeyInstalled`` per
+  member per epoch; good when installed within the bound.
+* ``recovery_time`` — ``RejoinCompleted.downtime`` within the bound;
+  a ``RecoveryGaveUp`` is an unconditional bad sample.
+* ``certified_mutations`` — each ``CertificateVerified`` is good; each
+  ``EquivocationDetected`` or ``AttestationRefused`` is bad.  This is
+  the gate the Byzantine soaks fail on: a seeded equivocation run
+  floods the short window with bad samples and burns immediately.
+
+Windows are in the event stream's own time axis (the injected clock),
+so seeded virtual-time soaks evaluate deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.events import TelemetryRecord
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One (long, short) window pair with its burn-rate threshold."""
+
+    long_s: float
+    short_s: float
+    threshold: float
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over a derived indicator."""
+
+    name: str
+    description: str
+    #: Which sample stream to read (see module doc).
+    indicator: str
+    #: Promised fraction of good outcomes, e.g. 0.99.
+    objective: float
+    #: Good/bad boundary for latency-like indicators (seconds); unused
+    #: by pure success/failure indicators.
+    bound: float
+    windows: tuple[BurnWindow, ...]
+
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+def default_slos() -> tuple[SLOSpec, ...]:
+    """The fabric's stock objectives (virtual-time seconds)."""
+    windows = (
+        BurnWindow(long_s=3600.0, short_s=300.0, threshold=10.0),
+        BurnWindow(long_s=21600.0, short_s=1800.0, threshold=5.0),
+    )
+    return (
+        SLOSpec(
+            name="join-latency",
+            description="99% of joins complete within 30s",
+            indicator="join_latency",
+            objective=0.99, bound=30.0, windows=windows,
+        ),
+        SLOSpec(
+            name="rekey-propagation",
+            description="99% of members install a new epoch within 30s",
+            indicator="rekey_propagation",
+            objective=0.99, bound=30.0, windows=windows,
+        ),
+        SLOSpec(
+            name="recovery-time",
+            description="95% of member recoveries finish within 120s",
+            indicator="recovery_time",
+            objective=0.95, bound=120.0, windows=windows,
+        ),
+        SLOSpec(
+            name="certified-mutations",
+            description="99.9% of certificate checks verify cleanly",
+            indicator="certified_mutations",
+            objective=0.999, bound=0.0, windows=windows,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """Burn evaluation of one window pair."""
+
+    long_s: float
+    short_s: float
+    threshold: float
+    long_burn: float
+    short_burn: float
+
+    @property
+    def burning(self) -> bool:
+        return (
+            self.long_burn >= self.threshold
+            and self.short_burn >= self.threshold
+        )
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Evaluation of one spec at one instant."""
+
+    spec: SLOSpec
+    good: int
+    bad: int
+    windows: tuple[WindowReport, ...]
+
+    @property
+    def burning(self) -> bool:
+        return any(window.burning for window in self.windows)
+
+    def render(self) -> str:
+        status = "BURNING" if self.burning else "ok"
+        lines = [
+            f"{self.spec.name:<22} [{status}] good={self.good} "
+            f"bad={self.bad} objective={self.spec.objective}"
+        ]
+        for w in self.windows:
+            flag = " <-- burning" if w.burning else ""
+            lines.append(
+                f"    window {w.long_s:.0f}s/{w.short_s:.0f}s "
+                f"burn={w.long_burn:.2f}/{w.short_burn:.2f} "
+                f"threshold={w.threshold}{flag}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "objective": self.spec.objective,
+            "good": self.good,
+            "bad": self.bad,
+            "burning": self.burning,
+            "windows": [
+                {
+                    "long_s": w.long_s,
+                    "short_s": w.short_s,
+                    "threshold": w.threshold,
+                    "long_burn": w.long_burn,
+                    "short_burn": w.short_burn,
+                    "burning": w.burning,
+                }
+                for w in self.windows
+            ],
+        }
+
+
+class SLOEvaluator:
+    """Bus subscriber deriving SLI samples; evaluate with :meth:`report`."""
+
+    def __init__(self, specs: tuple[SLOSpec, ...] | None = None) -> None:
+        self.specs = tuple(specs) if specs is not None else default_slos()
+        #: indicator -> [(ts, good), ...] in arrival order.
+        self._samples: dict[str, list[tuple[float, bool]]] = {}
+        #: (member, leader) -> ts of the open JoinStarted.
+        self._open_joins: dict[tuple[str, str], float] = {}
+        #: (leader, epoch) -> RekeyIssued ts.
+        self._issued: dict[tuple[str, int], float] = {}
+        self.last_ts = 0.0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def __call__(self, record: TelemetryRecord) -> None:
+        event = record.event
+        name = type(event).__name__
+        ts = record.ts
+        self.last_ts = max(self.last_ts, ts)
+
+        if name == "JoinStarted":
+            self._open_joins[(event.node, event.leader)] = ts
+        elif name == "JoinCompleted":
+            started = self._open_joins.pop((event.node, event.leader), None)
+            if started is not None:
+                self._latency_sample("join_latency", ts, ts - started)
+        elif name == "RekeyIssued":
+            self._issued[(event.node, event.epoch)] = ts
+        elif name == "RekeyInstalled":
+            issued = self._issued.get((event.leader, event.epoch))
+            if issued is not None:
+                self._latency_sample("rekey_propagation", ts, ts - issued)
+        elif name == "RejoinCompleted":
+            self._latency_sample("recovery_time", ts, event.downtime)
+        elif name == "RecoveryGaveUp":
+            self._sample("recovery_time", ts, good=False)
+        elif name == "CertificateVerified":
+            self._sample("certified_mutations", ts, good=True)
+        elif name in ("EquivocationDetected", "AttestationRefused"):
+            self._sample("certified_mutations", ts, good=False)
+
+    def _sample(self, indicator: str, ts: float, good: bool) -> None:
+        self._samples.setdefault(indicator, []).append((ts, good))
+
+    def _latency_sample(
+        self, indicator: str, ts: float, elapsed: float
+    ) -> None:
+        bound = self._bound(indicator)
+        self._sample(indicator, ts, good=elapsed <= bound)
+
+    def _bound(self, indicator: str) -> float:
+        for spec in self.specs:
+            if spec.indicator == indicator:
+                return spec.bound
+        return float("inf")
+
+    # -- evaluation ----------------------------------------------------------
+
+    def report(self, now: float | None = None) -> list[SLOReport]:
+        """Evaluate every spec as of ``now`` (default: last event ts)."""
+        at = self.last_ts if now is None else now
+        # A join still open past its bound is a bad outcome the happy
+        # path would never sample — close it bad, virtually.
+        join_bound = self._bound("join_latency")
+        extra: dict[str, list[tuple[float, bool]]] = {}
+        for started in self._open_joins.values():
+            if at - started > join_bound:
+                extra.setdefault("join_latency", []).append((at, False))
+
+        reports = []
+        for spec in self.specs:
+            samples = (
+                self._samples.get(spec.indicator, [])
+                + extra.get(spec.indicator, [])
+            )
+            good = sum(1 for _, ok in samples if ok)
+            bad = len(samples) - good
+            windows = tuple(
+                WindowReport(
+                    w.long_s, w.short_s, w.threshold,
+                    self._burn(spec, samples, at, w.long_s),
+                    self._burn(spec, samples, at, w.short_s),
+                )
+                for w in spec.windows
+            )
+            reports.append(SLOReport(spec, good, bad, windows))
+        return reports
+
+    @staticmethod
+    def _burn(
+        spec: SLOSpec,
+        samples: list[tuple[float, bool]],
+        at: float,
+        window_s: float,
+    ) -> float:
+        inside = [ok for ts, ok in samples if at - ts <= window_s]
+        if not inside:
+            return 0.0
+        bad_fraction = inside.count(False) / len(inside)
+        return bad_fraction / spec.budget()
+
+    def burning(self, now: float | None = None) -> list[SLOReport]:
+        """Just the reports currently burning (empty = all healthy)."""
+        return [r for r in self.report(now) if r.burning]
+
+    def render(self, now: float | None = None) -> str:
+        return "\n".join(r.render() for r in self.report(now))
+
+
+__all__ = [
+    "BurnWindow",
+    "SLOEvaluator",
+    "SLOReport",
+    "SLOSpec",
+    "WindowReport",
+    "default_slos",
+]

@@ -57,7 +57,12 @@ from repro.quorum.replicas import (
 )
 from repro.storage.journal import Journal
 from repro.storage.shipping import JournalFollower, JournalShipper
-from repro.telemetry.events import EventBus, GroupMigrated
+from repro.telemetry.events import (
+    EventBus,
+    GroupMigrated,
+    MigrationAborted,
+    MigrationStarted,
+)
 from repro.util.clock import Clock
 from repro.wire.message import Envelope
 
@@ -206,6 +211,10 @@ def migrate_quorum_group(
 
     # 1. Quiesce: members get redirects, the state stops mutating.
     source.quiesce(group_id)
+    if telemetry:
+        telemetry.emit(MigrationStarted(
+            group_id, source.shard_id, target.shard_id
+        ))
     try:
         # 2. Checkpoint: the synced journal is the authoritative state.
         qs.journal.sync()
@@ -258,8 +267,12 @@ def migrate_quorum_group(
         # Continuing seq captured from the old journal; every witness
         # gets a fresh replica primed off the target-side stream.
         qs._rebuild_shipping(journal=new_journal)
-    except BaseException:
+    except BaseException as exc:
         source.resume(group_id)
+        if telemetry:
+            telemetry.emit(MigrationAborted(
+                group_id, source.shard_id, str(exc)
+            ))
         raise
 
     # 5. Flip the directory, retire the source copy, serve from target.

@@ -198,6 +198,7 @@ class QuorumMemberProtocol(MemberProtocol):
                 self._telemetry.emit(EquivocationDetected(
                     self.user_id, self.leader_id, evidence.accused,
                     statement.epoch, evidence.encode().hex(),
+                    self._cause,
                 ))
             return [self._reject(
                 "certificate equivocation (conflicting attestation set)",
@@ -208,10 +209,32 @@ class QuorumMemberProtocol(MemberProtocol):
             self._telemetry.emit(CertificateVerified(
                 self.user_id, self.leader_id,
                 statement.epoch, len(cert.signers),
+                self._cause,
             ))
         # Inner payloads cannot nest (the codec rejects that), so this
         # dispatches straight to the base implementation's cases.
         return MemberProtocol._apply_admin(self, payload.inner)
+
+    def observe_gossip(
+        self, cert: QuorumCertificate
+    ) -> EquivocationEvidence | None:
+        """Observe a peer-gossiped certificate (rule 3, out of band).
+
+        Same conflict memory and evidence path as the in-band channel.
+        Gossip carries no wire frame, so the telemetry event's
+        ``caused_by`` stays empty — a causal trace instead reaches the
+        offending mutation through the conflicting
+        ``CertificateVerified`` at the same (session, epoch).
+        """
+        evidence = self.verifier.observe(cert)
+        if evidence is not None:
+            self.evidence.append(evidence)
+            if self._telemetry:
+                self._telemetry.emit(EquivocationDetected(
+                    self.user_id, self.leader_id, evidence.accused,
+                    cert.statement.epoch, evidence.encode().hex(), "",
+                ))
+        return evidence
 
     def _binding_mismatch(
         self, statement: MutationStatement, inner: AdminPayload

@@ -371,6 +371,15 @@ class QuorumLeaderSet:
         seq = self.journal.seq
         if self._cert_cache is not None and self._cert_cache[0] == seq:
             return self._cert_cache[1]
+        prof = self.leader._profiler
+        tok = prof.begin("certify") if prof else None
+        try:
+            return self._assemble_certificate(seq)
+        finally:
+            if prof:
+                prof.end(tok)
+
+    def _assemble_certificate(self, seq: int) -> bytes | None:
         statement = self.primary_statement()
         attestations: list[Attestation] = []
         if self.primary_id not in self.evicted:
@@ -407,6 +416,7 @@ class QuorumLeaderSet:
             self._telemetry.emit(CertificateIssued(
                 self.primary_id, self.session_id, seq,
                 statement.epoch, len(certificate.signers),
+                self.leader._cause,
             ))
         encoded = certificate.encode()
         self._cert_cache = (seq, encoded)

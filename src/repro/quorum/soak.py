@@ -217,9 +217,8 @@ def _quorum_respond(
         for origin_uid, cert in pool:
             if origin_uid == uid:
                 continue
-            found = member.verifier.observe(cert)
+            found = member.observe_gossip(cert)
             if found is not None:
-                member.evidence.append(found)
                 evidence, detector = found, uid
                 break
         if evidence is not None:

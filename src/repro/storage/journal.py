@@ -118,6 +118,8 @@ class Journal:
         self.compact_threshold = compact_threshold
         self.node = node
         self._telemetry = telemetry
+        #: optional PhaseProfiler (observability); None when off.
+        self._profiler = None
         self.seq = 0
         self._unsynced = 0
         self._deltas_since_base = 0
@@ -142,6 +144,11 @@ class Journal:
             self._subscribers.remove(fn)
         except ValueError:
             pass
+
+    def bind_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.observability.profile.PhaseProfiler`
+        to the append/fsync write path (None detaches)."""
+        self._profiler = profiler
 
     def attach(self, leader, start_seq: int = 0) -> None:
         """Write a base snapshot of ``leader`` and start journaling it.
@@ -196,15 +203,22 @@ class Journal:
         delta = self._diff(leader)
         if not delta:
             return
-        self.seq += 1
-        record = seal_record(self._cipher, self.seq, "delta", delta)
-        self.disk.append(self.path, record)
+        prof = self._profiler
+        tok = prof.begin("wal.append") if prof else None
+        try:
+            self.seq += 1
+            record = seal_record(self._cipher, self.seq, "delta", delta)
+            self.disk.append(self.path, record)
+        finally:
+            if prof:
+                prof.end(tok)
         self.appends += 1
         self._unsynced += 1
         self._deltas_since_base += 1
         if self._telemetry:
             self._telemetry.emit(JournalAppended(
-                self.node, "delta", self.seq, len(record)
+                self.node, "delta", self.seq, len(record),
+                getattr(leader, "_cause", ""),
             ))
         if self._unsynced >= self.fsync_every:
             self.sync()
@@ -219,7 +233,13 @@ class Journal:
         """Force buffered records to durable storage."""
         if self._unsynced == 0:
             return
-        self.disk.fsync(self.path)
+        prof = self._profiler
+        tok = prof.begin("wal.fsync") if prof else None
+        try:
+            self.disk.fsync(self.path)
+        finally:
+            if prof:
+                prof.end(tok)
         records, self._unsynced = self._unsynced, 0
         self.fsyncs += 1
         if self._telemetry:

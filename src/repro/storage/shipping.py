@@ -31,6 +31,7 @@ from repro.storage.journal import Journal
 from repro.storage.recovery import ReplayResult, replay_records
 from repro.telemetry.events import (
     EventBus,
+    FollowerLagged,
     JournalShipped,
     StandbyPromoted,
 )
@@ -143,6 +144,13 @@ class JournalShipper:
             self._telemetry.emit(
                 JournalShipped(self.node, follower.name, seq)
             )
+            if follower.applied_seq < follower.offered_seq:
+                # The replica just dropped (or is still missing) a
+                # record: surface the lag promote() would refuse on.
+                self._telemetry.emit(FollowerLagged(
+                    self.node, follower.name,
+                    follower.applied_seq, follower.offered_seq,
+                ))
 
 
 def promote(

@@ -72,10 +72,15 @@ def register_event(cls):
 @register_event
 @dataclass(frozen=True, slots=True)
 class JoinStarted(TelemetryEvent):
-    """A member sent AuthInitReq (message 1)."""
+    """A member sent AuthInitReq (message 1).
+
+    ``frame`` is the id of the AuthInitReq envelope itself — the root
+    of the causal chain a :class:`~repro.observability.trace.TraceBuilder`
+    reconstructs for the join."""
 
     node: str
     leader: str
+    frame: str = ""
 
 
 @register_event
@@ -85,6 +90,7 @@ class JoinCompleted(TelemetryEvent):
 
     node: str
     leader: str
+    caused_by: str = ""
 
 
 @register_event
@@ -94,6 +100,7 @@ class AuthAccepted(TelemetryEvent):
 
     node: str
     member: str
+    caused_by: str = ""
 
 
 @register_event
@@ -104,6 +111,7 @@ class JoinDenied(TelemetryEvent):
     node: str
     member: str
     reason: str
+    caused_by: str = ""
 
 
 @register_event
@@ -113,6 +121,7 @@ class MemberDeparted(TelemetryEvent):
 
     node: str
     member: str
+    caused_by: str = ""
 
 
 @register_event
@@ -127,11 +136,16 @@ class MemberExpelled(TelemetryEvent):
 @register_event
 @dataclass(frozen=True, slots=True)
 class RekeyIssued(TelemetryEvent):
-    """The leader rotated the group key to ``epoch``."""
+    """The leader rotated the group key to ``epoch``.
+
+    ``caused_by`` names the inbound frame whose handling triggered the
+    rotation (empty for leader-initiated rotations such as
+    :meth:`~repro.enclaves.itgm.leader.GroupLeader.rekey_now`)."""
 
     node: str
     epoch: int
     eviction: bool
+    caused_by: str = ""
 
 
 @register_event
@@ -143,6 +157,7 @@ class RekeyInstalled(TelemetryEvent):
     leader: str
     epoch: int
     fingerprint: str
+    caused_by: str = ""
 
 
 @register_event
@@ -153,6 +168,7 @@ class AdminAccepted(TelemetryEvent):
     node: str
     leader: str
     kind: str
+    caused_by: str = ""
 
 
 # rejections ----------------------------------------------------------------
@@ -334,12 +350,16 @@ class LeaderFailover(TelemetryEvent):
 @register_event
 @dataclass(frozen=True, slots=True)
 class JournalAppended(TelemetryEvent):
-    """One sealed record was appended to the leader's write-ahead log."""
+    """One sealed record was appended to the leader's write-ahead log.
+
+    ``caused_by`` names the inbound frame whose handling produced the
+    mutation (empty for leader-initiated checkpoints)."""
 
     node: str
     kind: str
     record_seq: int
     size: int
+    caused_by: str = ""
 
 
 @register_event
@@ -392,6 +412,20 @@ class JournalShipped(TelemetryEvent):
 
 @register_event
 @dataclass(frozen=True, slots=True)
+class FollowerLagged(TelemetryEvent):
+    """A shipped record left a follower's applied head behind its
+    offered head (a delta arrived before any base snapshot, or replay
+    is trailing) — the lag :func:`~repro.storage.shipping.promote`
+    refuses to promote across."""
+
+    node: str
+    peer: str
+    applied_seq: int
+    offered_seq: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
 class StandbyPromoted(TelemetryEvent):
     """A standby materialized a leader from shipped journal state."""
 
@@ -433,6 +467,27 @@ class GroupRedirected(TelemetryEvent):
     group: str
     member: str
     target: str
+    caused_by: str = ""
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ShardDelivered(TelemetryEvent):
+    """A shard demuxed a GROUP_WRAP frame into a hosted leader core.
+
+    The causal splice between the fabric and protocol layers: ``frame``
+    is the wrapper envelope's id, ``inner`` the unwrapped envelope's id
+    — the same id the hosted leader's own events then carry in their
+    ``caused_by`` fields.  ``member`` is the inner frame's origin, so a
+    delivery whose frame ids appear nowhere else (mid-handshake frames
+    the member sends without emitting an event) still anchors to the
+    sender's session in a causal trace."""
+
+    node: str
+    group: str
+    member: str
+    frame: str
+    inner: str
 
 
 @register_event
@@ -448,6 +503,26 @@ class ForeignGroupRejected(TelemetryEvent):
     node: str
     group: str
     frame: str
+    reason: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class MigrationStarted(TelemetryEvent):
+    """A group migration began: the source shard quiesced the group."""
+
+    group: str
+    source: str
+    target: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class MigrationAborted(TelemetryEvent):
+    """A migration failed mid-flight; the source resumed the group."""
+
+    group: str
+    source: str
     reason: str
 
 
@@ -506,6 +581,7 @@ class CertificateIssued(TelemetryEvent):
     record_seq: int
     epoch: int
     signers: int
+    caused_by: str = ""
 
 
 @register_event
@@ -517,6 +593,7 @@ class CertificateVerified(TelemetryEvent):
     session: str
     epoch: int
     signers: int
+    caused_by: str = ""
 
 
 @register_event
@@ -526,13 +603,17 @@ class EquivocationDetected(TelemetryEvent):
 
     ``evidence`` is the hex-encoded signed
     :class:`~repro.quorum.attestation.EquivocationEvidence` blob —
-    self-contained proof any key-holding party can re-verify."""
+    self-contained proof any key-holding party can re-verify.
+    ``caused_by`` names the admin frame that delivered the conflicting
+    certificate, so a flight-recorder bundle can walk back from the
+    detection to the offending mutation."""
 
     node: str
     session: str
     accused: str
     epoch: int
     evidence: str
+    caused_by: str = ""
 
 
 @register_event
@@ -563,6 +644,21 @@ class ViewChangeCompleted(TelemetryEvent):
     session: str
     new_primary: str
     epoch: int
+
+
+# observability ---------------------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class ProbeViolation(TelemetryEvent):
+    """The live §5.4 health probe observed an invariant violation.
+
+    Emitted by :class:`~repro.telemetry.health.HealthProbe` when it is
+    watching a bus, so invariant breaks become terminal events a
+    flight recorder can trigger on."""
+
+    message: str
 
 
 # -- rejection classification ------------------------------------------------

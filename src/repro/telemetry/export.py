@@ -27,7 +27,7 @@ from repro.telemetry.events import (
     EventBus,
     TelemetryRecord,
 )
-from repro.telemetry.metrics import MetricsRegistry, render_series
+from repro.telemetry.metrics import MetricsRegistry
 
 _JSON_SCALARS = (str, int, float, bool, type(None))
 
@@ -122,6 +122,29 @@ def validate_jsonl(lines) -> list[dict]:
     return records
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote, and line feed must be ``\\\\``, ``\\"``,
+    and ``\\n`` — raw ones would corrupt or truncate the series line."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escaped_series(name: str, key) -> str:
+    """Like :func:`~repro.telemetry.metrics.render_series`, with label
+    values escaped for the exposition format."""
+    if not key:
+        return name
+    inner = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in key
+    )
+    return f"{name}{{{inner}}}"
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus text-format dump of every series in the registry."""
     lines: list[str] = []
@@ -133,7 +156,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             if name not in seen_types:
                 lines.append(f"# TYPE {name} summary")
                 seen_types.add(name)
-            series = render_series(name, key)
+            series = _escaped_series(name, key)
             lines.append(f"{series}_count {len(instrument)}")
             lines.append(f"{series}_sum {sum(instrument.samples)}")
             for q, value in (("0.5", instrument.p50),
@@ -141,7 +164,8 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 labeled = dict(key)
                 labeled["quantile"] = q
                 inner = ",".join(
-                    f'{k}="{v}"' for k, v in sorted(labeled.items())
+                    f'{k}="{escape_label_value(v)}"'
+                    for k, v in sorted(labeled.items())
                 )
                 lines.append(f"{name}{{{inner}}} {value}")
         else:
@@ -149,7 +173,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(f"# TYPE {name} {kind}")
                 seen_types.add(name)
             lines.append(
-                f"{render_series(name, key)} {instrument.value}"
+                f"{_escaped_series(name, key)} {instrument.value}"
             )
     return "\n".join(lines) + ("\n" if lines else "")
 

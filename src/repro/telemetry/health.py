@@ -30,6 +30,7 @@ from collections import deque
 from repro.telemetry.events import (
     EventBus,
     JoinCompleted,
+    ProbeViolation,
     RekeyInstalled,
     RekeyIssued,
     TelemetryRecord,
@@ -59,10 +60,15 @@ class HealthProbe:
         self._fingerprints: dict[tuple[str, int], str] = {}
         #: (leader, epoch) -> ts of the RekeyIssued event.
         self._issued_at: dict[tuple[str, int], float] = {}
+        #: The bus we watch (set by subscribe_to); violations are
+        #: echoed onto it as ProbeViolation events so downstream
+        #: subscribers (e.g. a flight recorder) can trigger on them.
+        self._bus: EventBus | None = None
         self.checked = 0
 
     def subscribe_to(self, bus: EventBus) -> "HealthProbe":
         bus.subscribe(self)
+        self._bus = bus
         return self
 
     # -- the subscriber ------------------------------------------------------
@@ -121,6 +127,10 @@ class HealthProbe:
         self.violations.append(
             f"{message}\n    trail: {trail}" if trail else message
         )
+        if self._bus is not None:
+            # emit() iterates a copy of the subscriber list, so
+            # emitting from inside this subscriber is safe.
+            self._bus.emit(ProbeViolation(message))
 
     @staticmethod
     def _describe(record: TelemetryRecord) -> str:

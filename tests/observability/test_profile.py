@@ -1,0 +1,130 @@
+"""Tests for the clock-injected phase profiler."""
+
+import pytest
+
+from repro.observability.profile import PhaseProfiler, bind_profiler_everywhere
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.clock import TickClock
+
+
+def ticked():
+    """A profiler on its own deterministic clock (1s per reading)."""
+    return PhaseProfiler(TickClock())
+
+
+class TestTiming:
+    def test_flat_phase_costs_one_tick(self):
+        prof = ticked()
+        tok = prof.begin("seal")
+        assert prof.end(tok) == 1.0
+        assert prof.phases() == {
+            "seal": {"calls": 1, "cumulative": 1.0, "self": 1.0},
+        }
+
+    def test_nested_phases_split_cumulative_and_self(self):
+        prof = ticked()
+        outer = prof.begin("demux")        # t=0
+        inner = prof.begin("wal.append")   # t=1
+        prof.end(inner)                    # t=2 -> 1s, child of demux
+        prof.end(outer)                    # t=3 -> 3s cumulative
+        phases = prof.phases()
+        assert phases["demux"] == {
+            "calls": 1, "cumulative": 3.0, "self": 2.0,
+        }
+        assert phases["demux/wal.append"] == {
+            "calls": 1, "cumulative": 1.0, "self": 1.0,
+        }
+        assert prof.total() == 3.0  # root phases only
+
+    def test_repeated_phases_accumulate(self):
+        prof = ticked()
+        for _ in range(3):
+            prof.end(prof.begin("open"))
+        assert prof.phases()["open"]["calls"] == 3
+        assert prof.phases()["open"]["cumulative"] == 3.0
+
+    def test_same_name_at_different_depths_is_two_paths(self):
+        prof = ticked()
+        prof.end(prof.begin("multicast"))
+        outer = prof.begin("demux")
+        prof.end(prof.begin("multicast"))
+        prof.end(outer)
+        assert set(prof.phases()) == {
+            "multicast", "demux", "demux/multicast",
+        }
+
+
+class TestDiscipline:
+    def test_out_of_order_end_raises(self):
+        prof = ticked()
+        outer = prof.begin("demux")
+        prof.begin("certify")
+        with pytest.raises(ValueError, match="out of order"):
+            prof.end(outer)
+
+    def test_end_without_begin_raises(self):
+        prof = ticked()
+        tok = prof.begin("seal")
+        prof.end(tok)
+        with pytest.raises(ValueError, match="out of order"):
+            prof.end(tok)
+
+    def test_open_phases_reflect_the_stack(self):
+        prof = ticked()
+        prof.begin("demux")
+        prof.begin("certify")
+        assert prof.open_phases == ["demux", "certify"]
+
+    def test_profiler_is_always_truthy(self):
+        # The hot-path hooks test the *binding* (`if prof:`), so an
+        # empty profiler must still be truthy.
+        assert bool(PhaseProfiler())
+
+
+class TestViews:
+    def test_render_empty(self):
+        assert PhaseProfiler().render() == "profile: no phases recorded"
+
+    def test_render_indents_children_under_parents(self):
+        prof = ticked()
+        outer = prof.begin("demux")
+        prof.end(prof.begin("wal.append"))
+        prof.end(outer)
+        lines = prof.render().splitlines()
+        assert lines[0].startswith("phase")
+        assert any(line.startswith("demux ") for line in lines)
+        assert any(line.startswith("  wal.append") for line in lines)
+
+    def test_as_dict_sorted_and_json_ready(self):
+        prof = ticked()
+        prof.end(prof.begin("seal"))
+        prof.end(prof.begin("open"))
+        payload = prof.as_dict()
+        assert payload["total"] == 2.0
+        assert list(payload["phases"]) == ["open", "seal"]
+
+    def test_export_to_registry(self):
+        prof = ticked()
+        prof.end(prof.begin("seal"))
+        reg = MetricsRegistry()
+        prof.export_to(reg)
+        assert reg.counters()['profile_phase_calls{phase="seal"}'] == 1
+        assert reg.gauges()['profile_phase_seconds{phase="seal"}'] == 1.0
+
+
+class TestBinding:
+    def test_bind_everywhere_skips_unbindable_components(self):
+        class Bindable:
+            def __init__(self):
+                self._profiler = None
+
+            def bind_profiler(self, profiler):
+                self._profiler = profiler
+
+        class Plain:
+            pass
+
+        prof = PhaseProfiler()
+        target, plain = Bindable(), Plain()
+        bind_profiler_everywhere(prof, target, plain, None)
+        assert target._profiler is prof

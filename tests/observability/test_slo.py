@@ -1,0 +1,174 @@
+"""Tests for declarative SLOs and multi-window burn-rate evaluation."""
+
+import pytest
+
+from repro.observability.slo import (
+    BurnWindow,
+    SLOEvaluator,
+    SLOSpec,
+    default_slos,
+)
+from repro.telemetry.events import (
+    AttestationRefused,
+    CertificateVerified,
+    EquivocationDetected,
+    EventBus,
+    JoinCompleted,
+    JoinStarted,
+    RecoveryGaveUp,
+    RejoinCompleted,
+    RekeyInstalled,
+    RekeyIssued,
+    TelemetryRecord,
+)
+from repro.util.clock import TickClock
+
+
+def feed(evaluator, *timed_events):
+    """Deliver ``(ts, event)`` pairs with bus-style increasing seqs."""
+    for seq, (ts, event) in enumerate(timed_events, 1):
+        evaluator(TelemetryRecord(ts=ts, seq=seq, event=event))
+
+
+def by_name(reports):
+    return {r.spec.name: r for r in reports}
+
+
+class TestIndicators:
+    def test_join_latency_good_and_bad(self):
+        ev = SLOEvaluator()
+        feed(ev,
+             (0.0, JoinStarted("a", "g")),
+             (10.0, JoinCompleted("a", "g")),      # within 30s: good
+             (20.0, JoinStarted("b", "g")),
+             (80.0, JoinCompleted("b", "g")))      # 60s: bad
+        report = by_name(ev.report())["join-latency"]
+        assert (report.good, report.bad) == (1, 1)
+
+    def test_open_join_past_bound_counts_bad(self):
+        ev = SLOEvaluator()
+        feed(ev, (0.0, JoinStarted("a", "g")))
+        early = by_name(ev.report(now=10.0))["join-latency"]
+        assert (early.good, early.bad) == (0, 0)  # still within bound
+        late = by_name(ev.report(now=100.0))["join-latency"]
+        assert (late.good, late.bad) == (0, 1)
+
+    def test_rekey_propagation(self):
+        ev = SLOEvaluator()
+        feed(ev,
+             (0.0, RekeyIssued("g", 2, False)),
+             (5.0, RekeyInstalled("a", "g", 2, "cafe")),    # good
+             (50.0, RekeyInstalled("b", "g", 2, "cafe")))   # bad
+        report = by_name(ev.report())["rekey-propagation"]
+        assert (report.good, report.bad) == (1, 1)
+
+    def test_recovery_time(self):
+        ev = SLOEvaluator()
+        feed(ev,
+             (10.0, RejoinCompleted("a", "g", 1, 30.0)),    # good
+             (20.0, RejoinCompleted("b", "g", 3, 500.0)),   # bad
+             (30.0, RecoveryGaveUp("c", 5, "all dead")))    # bad
+        report = by_name(ev.report())["recovery-time"]
+        assert (report.good, report.bad) == (1, 2)
+
+    def test_certified_mutations(self):
+        ev = SLOEvaluator()
+        feed(ev,
+             (1.0, CertificateVerified("a", "s", 2, 2)),
+             (2.0, EquivocationDetected("b", "s", "p", 2, "be")),
+             (3.0, AttestationRefused("r", "s", "conflict")))
+        report = by_name(ev.report())["certified-mutations"]
+        assert (report.good, report.bad) == (1, 2)
+
+
+class TestBurnRates:
+    def spec(self, objective=0.9, windows=None):
+        return SLOSpec(
+            name="t", description="", indicator="certified_mutations",
+            objective=objective, bound=0.0,
+            windows=windows or (BurnWindow(100.0, 10.0, 2.0),),
+        )
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        ev = SLOEvaluator((self.spec(objective=0.9),))
+        # 1 bad of 4 inside both windows: 0.25 / 0.1 = 2.5 burn.
+        feed(ev,
+             (95.0, CertificateVerified("a", "s", 1, 2)),
+             (96.0, CertificateVerified("a", "s", 2, 2)),
+             (97.0, CertificateVerified("a", "s", 3, 2)),
+             (98.0, EquivocationDetected("b", "s", "p", 3, "be")))
+        window = ev.report(now=100.0)[0].windows[0]
+        assert window.long_burn == pytest.approx(2.5)
+        assert window.short_burn == pytest.approx(2.5)
+        assert window.burning
+
+    def test_recovered_incident_stops_burning(self):
+        # All the bad samples are old: the long window still remembers
+        # them, but the short window is clean -> not burning.
+        ev = SLOEvaluator((self.spec(objective=0.9),))
+        feed(ev,
+             (1.0, EquivocationDetected("b", "s", 1, 1, "be")),
+             (2.0, EquivocationDetected("b", "s", 1, 1, "be")),
+             (95.0, CertificateVerified("a", "s", 2, 2)))
+        report = ev.report(now=100.0)[0]
+        window = report.windows[0]
+        assert window.long_burn >= window.threshold
+        assert window.short_burn == 0.0
+        assert not report.burning
+
+    def test_empty_window_burns_nothing(self):
+        ev = SLOEvaluator((self.spec(),))
+        report = ev.report(now=100.0)[0]
+        assert report.windows[0].long_burn == 0.0
+        assert not report.burning
+
+    def test_any_window_pair_burning_burns_the_slo(self):
+        spec = self.spec(windows=(
+            BurnWindow(100.0, 10.0, 1000.0),   # never trips
+            BurnWindow(100.0, 10.0, 1.0),
+        ))
+        ev = SLOEvaluator((spec,))
+        feed(ev, (99.0, EquivocationDetected("b", "s", "p", 1, "be")))
+        report = ev.report(now=100.0)[0]
+        assert [w.burning for w in report.windows] == [False, True]
+        assert report.burning
+        assert [r.spec.name for r in ev.burning(now=100.0)] == ["t"]
+
+
+class TestReporting:
+    def test_render_flags_burning_windows(self):
+        ev = SLOEvaluator()
+        feed(ev, (1.0, EquivocationDetected("b", "s", "p", 1, "be")))
+        text = ev.render()
+        assert "certified-mutations" in text
+        assert "BURNING" in text
+        assert "<-- burning" in text
+
+    def test_as_dict_shape(self):
+        ev = SLOEvaluator()
+        feed(ev, (1.0, CertificateVerified("a", "s", 1, 2)))
+        payload = by_name(ev.report())["certified-mutations"].as_dict()
+        assert payload["good"] == 1 and payload["bad"] == 0
+        assert payload["burning"] is False
+        assert {"long_s", "short_s", "threshold", "long_burn",
+                "short_burn", "burning"} <= set(payload["windows"][0])
+
+    def test_default_slos_cover_the_four_indicators(self):
+        specs = default_slos()
+        assert {s.indicator for s in specs} == {
+            "join_latency", "rekey_propagation", "recovery_time",
+            "certified_mutations",
+        }
+        for spec in specs:
+            assert 0.0 < spec.objective < 1.0
+            assert spec.budget() == 1.0 - spec.objective
+            assert len(spec.windows) == 2
+
+    def test_subscribes_to_a_live_bus(self):
+        bus = EventBus(clock=TickClock())
+        ev = SLOEvaluator()
+        bus.subscribe(ev)
+        bus.emit(JoinStarted("a", "g"))
+        bus.emit(JoinCompleted("a", "g"))
+        report = by_name(ev.report())["join-latency"]
+        assert (report.good, report.bad) == (1, 0)

@@ -110,7 +110,7 @@ class TestRecord:
         assert payload == {
             "ts": 0.0, "seq": 1, "event": "RekeyInstalled",
             "node": "alice", "leader": "leader", "epoch": 3,
-            "fingerprint": "cafe",
+            "fingerprint": "cafe", "caused_by": "",
         }
 
 

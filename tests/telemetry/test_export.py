@@ -99,7 +99,7 @@ class TestValidateJsonl:
 
     def test_rejects_non_increasing_seq(self):
         record = {"ts": 0.0, "seq": 1, "event": "JoinStarted",
-                  "node": "a", "leader": "b"}
+                  "node": "a", "leader": "b", "frame": ""}
         lines = [json.dumps(record), json.dumps(record)]
         with pytest.raises(ValueError, match="sequence not increasing"):
             validate_jsonl(lines)

@@ -1,0 +1,118 @@
+"""Exporter edge cases: hostile labels, unicode, empty state, round trips.
+
+The Prometheus exposition format terminates a series at the first raw
+newline and closes a label value at the first raw double quote — an
+attacker-controlled label value (a user id, a rejection reason) that
+contains either would corrupt or truncate the dump.  These tests pin
+the escaping contract plus the degenerate-input corners of every
+exporter.
+"""
+
+import io
+import json
+import re
+
+from repro.telemetry.events import EventBus, JoinStarted, RekeyInstalled
+from repro.telemetry.export import (
+    LiveSummary,
+    attach_jsonl,
+    escape_label_value,
+    render_prometheus,
+    validate_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.clock import TickClock
+
+#: Every non-comment line of a well-formed dump matches this: a metric
+#: name, an optional one-line label block, a space, a value.
+_SERIES_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^\n]*\})?(_count|_sum)? \S+$'
+)
+
+
+class TestEscapeLabelValue:
+    def test_backslash_quote_and_newline(self):
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("two\nlines") == "two\\nlines"
+
+    def test_backslash_escaped_before_its_own_escapes(self):
+        # A literal backslash-n must not collapse into an escaped
+        # newline (or vice versa): \n the two-char sequence becomes
+        # \\n, while a real newline becomes \n.
+        assert escape_label_value("\\n") == "\\\\n"
+        assert escape_label_value("\n") == "\\n"
+
+    def test_non_strings_are_coerced(self):
+        assert escape_label_value(7) == "7"
+
+    def test_unicode_passes_through(self):
+        assert escape_label_value("grüppe-δ") == "grüppe-δ"
+
+
+class TestHostileLabels:
+    def test_hostile_counter_labels_stay_on_one_line(self):
+        reg = MetricsRegistry()
+        hostile = 'alice"} 999\nevil_metric 1'
+        reg.counter("joins_total", node=hostile).incr()
+        text = render_prometheus(reg)
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert _SERIES_LINE.match(line), f"corrupt series line: {line!r}"
+        # The smuggled series never starts a line of its own; the
+        # quote and newline arrive escaped, as label *data*.
+        assert not any(line.startswith("evil_metric")
+                       for line in text.splitlines())
+        assert '\\"} 999\\nevil_metric' in text
+
+    def test_hostile_histogram_quantile_labels_escaped(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency", who='x"\ny')
+        hist.record(1.0)
+        text = render_prometheus(reg)
+        assert 'who="x\\"\\ny"' in text
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert _SERIES_LINE.match(line), line
+
+    def test_unicode_labels_render_intact(self):
+        reg = MetricsRegistry()
+        reg.gauge("members", group="grüppe-δ").set(3)
+        assert 'members{group="grüppe-δ"} 3' in render_prometheus(reg)
+
+
+class TestDegenerateInputs:
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_zero_event_live_summary(self):
+        summary = LiveSummary()
+        assert summary.total == 0
+        assert summary.render() == "telemetry: no events"
+
+    def test_validate_jsonl_of_empty_stream(self):
+        assert validate_jsonl([]) == []
+        assert validate_jsonl(["", "   ", ""]) == []
+
+
+class TestJsonlRoundTrip:
+    def export(self):
+        bus = EventBus(clock=TickClock())
+        sink = io.StringIO()
+        exporter = attach_jsonl(bus, sink)
+        bus.emit(JoinStarted("alice", "mgr-0", "aa11"))
+        bus.emit(RekeyInstalled("alice", "mgr-0", 2, "cafe"))
+        exporter.close()
+        return sink.getvalue()
+
+    def test_two_seeded_exports_are_byte_identical(self):
+        assert self.export() == self.export()
+
+    def test_validate_then_redump_is_byte_identical(self):
+        text = self.export()
+        records = validate_jsonl(text.splitlines())
+        redumped = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        assert redumped == text
