@@ -936,6 +936,41 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return handlers[args.mode](args)
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    # mode is "soak" (the only one today; the positional keeps the
+    # door open for an "attack" tour like chaos/quorum have).
+    from repro.overload.soak import (
+        OverloadConfig,
+        render_report,
+        run_overload_soak,
+    )
+
+    bus = exporter = None
+    if args.out:
+        from repro.telemetry import EventBus, attach_jsonl, validate_jsonl
+
+        # The soak drives the bus's clock itself (one virtual clock per
+        # stack run); a fresh seq makes repeated same-seed invocations
+        # in one process export the same bytes a fresh process would.
+        bus = EventBus()
+        bus.reset_seq()
+        exporter = attach_jsonl(bus, args.out)
+    config = OverloadConfig(
+        seed=args.seed,
+        duration=args.duration,
+        surge_members=args.surge,
+        flood_rate=args.flood_rate,
+    )
+    report = run_overload_soak(config, telemetry=bus)
+    print(render_report(report))
+    if exporter is not None:
+        exporter.close()
+        validate_jsonl(args.out)
+        print(f"\nwrote {args.out} ({exporter.lines_written} events, "
+              "schema-valid)")
+    return 0 if report.protection_holds else 1
+
+
 class _HelpfulParser(argparse.ArgumentParser):
     """A parser whose errors name every command, not just the usage.
 
@@ -1117,6 +1152,26 @@ def build_parser() -> argparse.ArgumentParser:
                           "events; profile/slo: JSON; flightrec: the "
                           "JSONL bundle)")
     obs.set_defaults(func=_cmd_obs)
+
+    overload = sub.add_parser(
+        "overload",
+        help="flooding-insider soak: unprotected vs admission-controlled",
+    )
+    overload.add_argument("mode", choices=("soak",),
+                          help="seeded overload chaos soak comparing the "
+                               "unbounded seed stack against the bounded "
+                               "mailbox + fair share + brownout stack")
+    overload.add_argument("--seed", type=int, default=7)
+    overload.add_argument("--duration", type=float, default=20.0,
+                          help="virtual seconds of soak")
+    overload.add_argument("--surge", type=int, default=10,
+                          help="members in the mid-soak join surge")
+    overload.add_argument("--flood-rate", type=float, default=240.0,
+                          help="flooder frames per virtual second")
+    overload.add_argument("--out", metavar="PATH",
+                          help="export the soak's event stream as "
+                               "deterministic JSONL")
+    overload.set_defaults(func=_cmd_overload)
     return parser
 
 

@@ -61,6 +61,7 @@ from repro.enclaves.itgm.persistence import (
 from repro.enclaves.itgm.runtime import LeaderRuntime
 from repro.exceptions import ProtocolError, RecoveryFailed, StateError
 from repro.net.transport import Endpoint
+from repro.overload.deadline import AdaptiveDeadline, RetryBudget
 from repro.telemetry.events import (
     EventBus,
     LeaderCrashed,
@@ -68,6 +69,7 @@ from repro.telemetry.events import (
     LeaderRestored,
     RecoveryGaveUp,
     RejoinCompleted,
+    RetryBudgetExhausted,
     WatchdogFired,
     resolve_bus,
 )
@@ -187,6 +189,8 @@ class ResilientMemberClient:
         config: SupervisorConfig | None = None,
         rng: RandomSource | None = None,
         telemetry: EventBus | None = None,
+        retry_budget: RetryBudget | None = None,
+        adaptive_deadline: AdaptiveDeadline | None = None,
     ) -> None:
         if not manager_order:
             raise ValueError("manager_order must not be empty")
@@ -207,6 +211,15 @@ class ResilientMemberClient:
         )
 
         self._telemetry = resolve_bus(telemetry)
+        #: Optional overload hardening (both default off = seed
+        #: behaviour).  A retry budget caps how many reconnect retries
+        #: a crash-restart storm may spend — without one the fixed
+        #: max_rounds budget is the only brake.  An adaptive deadline
+        #: replaces the static join_timeout with an EWMA-tracked one,
+        #: so the supervisor stops waiting a full second for a manager
+        #: that normally answers in 30 ms.
+        self._retry_budget = retry_budget
+        self._adaptive_deadline = adaptive_deadline
         self._tracer: SpanTracer | None = None
         self._endpoint = None          # real MemoryEndpoint
         self._shared: _SharedEndpoint | None = None
@@ -340,6 +353,15 @@ class ResilientMemberClient:
     def _backoff(self, attempt: int) -> float:
         return self.config.backoff_policy().delay(attempt, self._jitter_rng)
 
+    def _join_timeout(self) -> float:
+        if self._adaptive_deadline is not None:
+            return self._adaptive_deadline.current()
+        return self.config.join_timeout
+
+    def _observe_join(self, elapsed: float) -> None:
+        if self._adaptive_deadline is not None:
+            self._adaptive_deadline.tracker.observe(elapsed)
+
     async def _reconnect(self) -> None:
         """Cycle managers with backoff until joined; terminal on budget."""
         down_since = self._now()
@@ -348,6 +370,8 @@ class ResilientMemberClient:
         for _round in range(self.config.max_rounds):
             for manager_id in rotation:
                 self.attempts += 1
+                if self._retry_budget is not None:
+                    self._retry_budget.record_request()
                 if await self._attempt(manager_id):
                     now = self._now()
                     downtime = now - down_since
@@ -369,6 +393,18 @@ class ResilientMemberClient:
                             attempts_here + 1, downtime,
                         ))
                     return
+                if self._retry_budget is not None:
+                    if not self._retry_budget.can_retry():
+                        if self._telemetry:
+                            self._telemetry.emit(RetryBudgetExhausted(
+                                self.user_id, "reconnect",
+                                attempts_here + 1,
+                            ))
+                        raise RecoveryFailed(
+                            f"{self.user_id}: reconnect retry budget "
+                            f"exhausted after {attempts_here + 1} attempts"
+                        )
+                    self._retry_budget.record_retry()
                 await asyncio.sleep(self._backoff(attempts_here))
                 attempts_here += 1
         raise RecoveryFailed(
@@ -417,14 +453,16 @@ class ResilientMemberClient:
         close_frame = self._pending_close.get(manager_id)
         if close_frame is not None:
             await self._shared.send(close_frame)
+        started = self._now()
         try:
             await client.join(
-                timeout=cfg.join_timeout,
+                timeout=self._join_timeout(),
                 retransmit_interval=cfg.retransmit_interval,
             )
         except ProtocolError as exc:
             self.last_error = f"join {manager_id} failed: {exc}"
             return False
+        self._observe_join(self._now() - started)
         self._pending_close.pop(manager_id, None)
         self.active = manager_id
         return True
@@ -441,7 +479,8 @@ class ResilientMemberClient:
         """
         cfg = self.config
         assert self._shared is not None
-        deadline = self._now() + cfg.join_timeout
+        started = self._now()
+        deadline = started + self._join_timeout()
         while self._now() < deadline:
             close_frame = self._pending_close.get(manager_id)
             if close_frame is not None:
@@ -453,6 +492,7 @@ class ResilientMemberClient:
             if self._joined(client):
                 break
         if self._joined(client):
+            self._observe_join(self._now() - started)
             self._pending_close.pop(manager_id, None)
             return True
         self.last_error = (

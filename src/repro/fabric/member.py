@@ -28,7 +28,8 @@ from repro.enclaves.common import Credentials, Event, Joined
 from repro.enclaves.itgm.member import MemberProtocol, MemberState
 from repro.fabric.directory import GroupDirectory, RouteResult
 from repro.fabric.shard import parse_redirect
-from repro.telemetry.events import EventBus
+from repro.overload.deadline import RetryBudget
+from repro.telemetry.events import EventBus, RetryBudgetExhausted
 from repro.wire.labels import Label
 from repro.wire.message import Envelope, wrap_group
 
@@ -46,6 +47,7 @@ class FabricMember:
         rekey_grace: bool = True,
         telemetry: EventBus | None = None,
         protocol_factory=None,
+        retry_budget: RetryBudget | None = None,
     ) -> None:
         self.credentials = credentials
         self.user_id = credentials.user_id
@@ -63,8 +65,16 @@ class FabricMember:
         self.protocol = self._new_protocol()
         self.route: RouteResult | None = None
         self._pending_close: Envelope | None = None
+        #: Optional cap on redirect chasing.  During a migration storm
+        #: (or a malicious directory bouncing a member between shards)
+        #: each ``GROUP_REDIRECT`` costs a directory lookup plus a
+        #: retransmit or full re-join; the budget turns an unbounded
+        #: chase into a clean, observable stop.  None (default) = chase
+        #: forever, the seed behaviour.
+        self._retry_budget = retry_budget
         self.redirects = 0
         self.rejoins = 0
+        self.chases_dropped = 0
 
     def _new_protocol(self) -> MemberProtocol:
         # A fresh protocol per join epoch, on a forked rng stream, so a
@@ -124,6 +134,8 @@ class FabricMember:
         arrives.
         """
         self.refresh_route()
+        if self._retry_budget is not None:
+            self._retry_budget.record_request()
         out: list[Envelope] = []
         if self._pending_close is not None:
             out.append(self._wrap(self._pending_close))
@@ -198,6 +210,29 @@ class FabricMember:
         return [self._wrap(frame) for frame in out], events
 
     def _on_redirect(self, envelope: Envelope) -> list[Envelope]:
+        # The no-op default is the seed chase body plus this one falsy
+        # branch (the disabled-overhead bound in
+        # ``benchmarks/test_bench_overload.py`` times exactly this
+        # pair).  With a budget armed, a dry budget sheds the redirect
+        # before even parsing it — backpressure ahead of work.
+        if self._retry_budget is not None:
+            if not self._retry_budget.can_retry():
+                # Out of chase budget: stop following this redirect.
+                # The join simply does not progress; the driver's
+                # timers surface that as a failed join instead of the
+                # member spinning through lookups forever.
+                self.chases_dropped += 1
+                if self._telemetry:
+                    self._telemetry.emit(RetryBudgetExhausted(
+                        self.user_id, "redirect-chase", self.redirects
+                    ))
+                return []
+            self._retry_budget.record_retry()
+        return self._chase(envelope)
+
+    def _chase(self, envelope: Envelope) -> list[Envelope]:
+        """The seed redirect body: re-consult the directory and resume
+        or restart the join at the group's new shard."""
         parse_redirect(envelope)  # CodecError on malformed frames
         self.refresh_route()
         if self.protocol.state is MemberState.WAITING_FOR_KEY:

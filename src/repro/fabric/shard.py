@@ -87,6 +87,8 @@ class ShardStats:
     redirected: int = 0
     foreign_rejected: int = 0
     malformed: int = 0
+    #: Frames refused at the bounded intake (overload protection).
+    shed: int = 0
 
 
 @dataclass
@@ -109,6 +111,7 @@ class ShardHost:
         telemetry: EventBus | None = None,
         fsync_every: int = 1,
         compact_threshold: int | None = 64,
+        mailbox=None,
     ) -> None:
         self.shard_id = shard_id
         self.disk = disk
@@ -117,6 +120,10 @@ class ShardHost:
         self._telemetry = telemetry
         self._fsync_every = fsync_every
         self._compact_threshold = compact_threshold
+        #: Optional :class:`~repro.overload.mailbox.BoundedMailbox` in
+        #: front of the demux (see :meth:`enqueue`/:meth:`pump`); None
+        #: keeps the seed behaviour — every frame demuxed on arrival.
+        self._mailbox = mailbox
         self._hosted: dict[str, _Hosted] = {}
         #: Groups that moved away: ``group id -> new shard or None``.
         self._departed: dict[str, str | None] = {}
@@ -336,6 +343,45 @@ class ShardHost:
                 frame_id(envelope), frame_id(inner),
             ))
         return entry.leader.handle(inner)
+
+    # -- bounded intake (overload protection) --------------------------------
+
+    @property
+    def mailbox(self):
+        return self._mailbox
+
+    def enqueue(self, envelope: Envelope, now: float = 0.0) -> bool:
+        """Admit one frame into the bounded intake (False = shed).
+
+        Drivers that want backpressure route arrivals through here and
+        drain with :meth:`pump`; :meth:`handle` stays available for
+        direct synchronous use (and is what :meth:`pump` calls).
+        Without a mailbox the frame is handled immediately and the
+        outputs are dropped — use :meth:`handle` directly when there is
+        no intake to bound.
+        """
+        if self._mailbox is None:
+            raise StateError(
+                f"shard {self.shard_id!r} has no bounded intake"
+            )
+        accepted = self._mailbox.offer(envelope, now)
+        if not accepted:
+            self.stats.shed += 1
+        return accepted
+
+    def pump(self, budget: int) -> tuple[list[Envelope], list[Event]]:
+        """Demux up to ``budget`` queued frames, priority order."""
+        if self._mailbox is None:
+            raise StateError(
+                f"shard {self.shard_id!r} has no bounded intake"
+            )
+        out: list[Envelope] = []
+        events: list[Event] = []
+        for envelope in self._mailbox.drain(budget):
+            frames, evts = self.handle(envelope)
+            out.extend(frames)
+            events.extend(evts)
+        return out, events
 
     def _reject_frame(self, envelope: Envelope, reason: str) -> None:
         if self._telemetry:

@@ -10,6 +10,24 @@ This transport is honest plumbing — the adversarial behaviours live in
 :mod:`repro.net.memnet`/:mod:`repro.net.adversary`; over TCP the attacker
 role can simply be played by another client sending forged envelopes,
 since the leader trusts nothing about an envelope header anyway.
+
+What the transport *does* own is its availability posture:
+
+* The leader's mailbox can be **bounded** — pass a
+  :class:`~repro.overload.mailbox.BoundedMailbox` and every accepted
+  frame goes through priority classification and (optionally) per-sender
+  fair-share admission, with typed ``FrameShed``/``QueueSaturated``
+  telemetry instead of silent unbounded growth.  Without one, the seed
+  behaviour (unbounded queue) is unchanged.
+* Frame fates that used to be silent are now observable: an outbound
+  frame with no live link emits
+  :class:`~repro.telemetry.events.FrameUnroutable`; a peer claiming a
+  return route another live link holds emits
+  :class:`~repro.telemetry.events.RouteReclaimed`.
+* Stream teardown is *narrow*: only expected stream errors (peer went
+  away, malformed framing) end a link quietly.  Anything else emits
+  :class:`~repro.telemetry.events.TransportError` and propagates —
+  a bug in frame handling must never be swallowed as a disconnect.
 """
 
 from __future__ import annotations
@@ -17,11 +35,27 @@ from __future__ import annotations
 import asyncio
 import struct
 
-from repro.exceptions import ConnectionClosed
+from repro.exceptions import CodecError, ConnectionClosed
 from repro.net.transport import Endpoint, Transport
+from repro.telemetry.events import (
+    EventBus,
+    FrameUnroutable,
+    RouteReclaimed,
+    TransportError,
+    frame_id,
+)
 from repro.wire.message import Envelope
 
 _MAX_FRAME = 1 << 24
+
+#: Stream errors that legitimately end a link: the peer vanished, the
+#: stream died mid-frame, or the peer sent bytes that do not frame.
+_EXPECTED_STREAM_ERRORS = (
+    ConnectionClosed,
+    CodecError,
+    ConnectionResetError,
+    BrokenPipeError,
+)
 
 
 async def write_frame(writer: asyncio.StreamWriter, envelope: Envelope) -> None:
@@ -50,12 +84,25 @@ class TcpLeaderEndpoint(Endpoint):
     Incoming frames from all links are merged into one receive queue
     (the leader's mailbox).  Outgoing frames are routed to the link whose
     peer last claimed the envelope's recipient address; unroutable frames
-    are dropped, as on an insecure network.
+    are dropped — loudly, when a telemetry bus is attached.
+
+    With ``mailbox`` (a :class:`~repro.overload.mailbox.BoundedMailbox`)
+    the receive queue is bounded and admission-controlled; without one
+    it is the seed's unbounded queue.
     """
 
-    def __init__(self, address: str) -> None:
+    def __init__(
+        self,
+        address: str,
+        *,
+        mailbox=None,
+        telemetry: EventBus | None = None,
+    ) -> None:
         self._address = address
         self._queue: asyncio.Queue[Envelope] = asyncio.Queue()
+        self._mailbox = mailbox
+        self._arrival = asyncio.Event()
+        self._telemetry = telemetry
         self._links: dict[str, asyncio.StreamWriter] = {}
         self._server: asyncio.AbstractServer | None = None
         self._closed = False
@@ -63,6 +110,10 @@ class TcpLeaderEndpoint(Endpoint):
     @property
     def address(self) -> str:
         return self._address
+
+    @property
+    def mailbox(self):
+        return self._mailbox
 
     async def start(self, host: str, port: int) -> None:
         """Begin listening for member connections."""
@@ -83,22 +134,53 @@ class TcpLeaderEndpoint(Endpoint):
                 envelope = await read_frame(reader)
                 # Learn/refresh the claimed address for return routing.
                 if envelope.sender:
+                    holder = self._links.get(envelope.sender)
+                    if (holder is not None and holder is not writer
+                            and self._telemetry):
+                        # Another live link held this return route: a
+                        # reconnect, or an insider stealing a route.
+                        self._telemetry.emit(RouteReclaimed(
+                            self._address, envelope.sender,
+                            frame_id(envelope),
+                        ))
                     peer_addr = envelope.sender
                     self._links[peer_addr] = writer
-                self._queue.put_nowait(envelope)
-        except (ConnectionClosed, Exception):
-            pass
+                self._enqueue(envelope)
+        except _EXPECTED_STREAM_ERRORS:
+            pass  # the peer went away / sent garbage: just drop the link
+        except Exception as exc:
+            # Anything else is a bug, not a disconnect — surface it.
+            if self._telemetry:
+                self._telemetry.emit(TransportError(
+                    self._address, peer_addr or "", repr(exc)
+                ))
+            raise
         finally:
             if peer_addr is not None and self._links.get(peer_addr) is writer:
                 del self._links[peer_addr]
             writer.close()
+
+    def _enqueue(self, envelope: Envelope) -> None:
+        if self._mailbox is not None:
+            now = asyncio.get_running_loop().time()
+            if self._mailbox.offer(envelope, now):
+                self._arrival.set()
+            return
+        self._queue.put_nowait(envelope)
 
     async def send(self, envelope: Envelope) -> None:
         if self._closed:
             raise ConnectionClosed("leader endpoint closed")
         writer = self._links.get(envelope.recipient)
         if writer is None:
-            return  # unroutable -> dropped
+            # Unroutable -> dropped, as on an insecure network — but
+            # never silently when someone is watching.
+            if self._telemetry:
+                self._telemetry.emit(FrameUnroutable(
+                    self._address, envelope.recipient,
+                    envelope.label.name, frame_id(envelope),
+                ))
+            return
         try:
             await write_frame(writer, envelope)
         except (ConnectionResetError, OSError):
@@ -107,7 +189,16 @@ class TcpLeaderEndpoint(Endpoint):
     async def recv(self) -> Envelope:
         if self._closed:
             raise ConnectionClosed("leader endpoint closed")
-        return await self._queue.get()
+        if self._mailbox is None:
+            return await self._queue.get()
+        while True:
+            envelope = self._mailbox.take()
+            if envelope is not None:
+                return envelope
+            self._arrival.clear()
+            await self._arrival.wait()
+            if self._closed:
+                raise ConnectionClosed("leader endpoint closed")
 
     async def close(self) -> None:
         self._closed = True
@@ -117,6 +208,7 @@ class TcpLeaderEndpoint(Endpoint):
         for writer in self._links.values():
             writer.close()
         self._links.clear()
+        self._arrival.set()  # release a recv() parked on the mailbox
 
 
 class TcpMemberEndpoint(Endpoint):
@@ -156,17 +248,29 @@ class TcpTransport(Transport):
     """Transport facade used by the examples.
 
     ``attach(leader_id)`` must be called first to start the server; later
-    ``attach`` calls dial it.
+    ``attach`` calls dial it.  ``mailbox``/``telemetry`` are handed to
+    the leader endpoint (members are point-to-point and need neither).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        mailbox=None,
+        telemetry: EventBus | None = None,
+    ) -> None:
         self._host = host
         self._port = port
+        self._mailbox = mailbox
+        self._telemetry = telemetry
         self._leader: TcpLeaderEndpoint | None = None
 
     async def attach(self, address: str) -> Endpoint:
         if self._leader is None:
-            leader = TcpLeaderEndpoint(address)
+            leader = TcpLeaderEndpoint(
+                address, mailbox=self._mailbox, telemetry=self._telemetry
+            )
             await leader.start(self._host, self._port)
             self._port = leader.port
             self._leader = leader

@@ -1,0 +1,193 @@
+"""Admission control: priority classes + per-sender fair share.
+
+Two orthogonal questions are answered before a frame enters a bounded
+mailbox:
+
+1. **How important is it?**  :func:`classify_frame` maps a wire label
+   to a :class:`PriorityClass`.  The ordering encodes the paper's
+   availability argument: losing a view-change/rekey/close frame
+   (CONTROL) desyncs sessions and costs a re-authentication storm;
+   losing a heartbeat costs a spurious suspicion; losing a join frame
+   delays one member; losing an app frame costs a retransmission.
+   Under saturation the cheap losses must happen first.
+2. **Is the sender within its fair share?**  :class:`FairShareAdmission`
+   keeps one :class:`TokenBucket` per sender, so one flooding insider
+   exhausts *its own* bucket while honest peers' buckets stay full.
+   CONTROL frames bypass the buckets entirely — they are few, and
+   refusing them converts overload into protocol desync.
+
+Both are pure arithmetic over an explicitly passed ``now`` (virtual
+seconds), so seeded soaks are deterministic and no wall clock is ever
+read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.wire.labels import Label
+from repro.wire.message import Envelope, unwrap_group
+
+
+class PriorityClass(enum.IntEnum):
+    """Frame importance under overload; lower value = served first."""
+
+    CONTROL = 0
+    HEARTBEAT = 1
+    JOIN = 2
+    APP = 3
+
+
+#: Labels that carry session-critical control traffic (admin channel:
+#: rekeys, expels, view-change certificates; acks; closes; redirects).
+_CONTROL_LABELS = frozenset({
+    Label.ADMIN_MSG, Label.ACK, Label.REQ_CLOSE, Label.GROUP_REDIRECT,
+    Label.NEW_KEY, Label.NEW_KEY_ACK, Label.REQ_CLOSE_LEGACY,
+    Label.CLOSE_CONNECTION, Label.MEM_ADDED, Label.MEM_REMOVED,
+    Label.CONNECTION_DENIED,
+})
+
+#: Labels that belong to a join handshake (either stack, any leg).
+_JOIN_LABELS = frozenset({
+    Label.AUTH_INIT_REQ, Label.AUTH_KEY_DIST, Label.AUTH_ACK_KEY,
+    Label.REQ_OPEN, Label.ACK_OPEN, Label.LEGACY_AUTH_1,
+    Label.LEGACY_AUTH_2, Label.LEGACY_AUTH_3,
+})
+
+
+def classify_frame(
+    envelope: Envelope, *, heartbeat_sender: str | None = None
+) -> PriorityClass:
+    """The priority class of one wire frame.
+
+    ``GROUP_WRAP`` fabric envelopes are classified by their *inner*
+    frame — the wrapper is routing, not intent; a malformed wrapper
+    classifies as APP (it will be rejected loudly downstream anyway,
+    so it deserves no priority).
+
+    Liveness beacons are ordinary ``APP_DATA`` frames sealed by the
+    leader (see ``GroupLeader.heartbeat``), indistinguishable on the
+    wire from app traffic.  A caller that knows the leader's identity
+    passes it as ``heartbeat_sender`` and those frames classify as
+    HEARTBEAT — above joins, below control — instead of APP.
+    """
+    label = envelope.label
+    if label is Label.GROUP_WRAP:
+        try:
+            _, inner = unwrap_group(envelope)
+        except Exception:
+            return PriorityClass.APP
+        return classify_frame(inner, heartbeat_sender=heartbeat_sender)
+    if label in _CONTROL_LABELS:
+        return PriorityClass.CONTROL
+    if label in _JOIN_LABELS:
+        return PriorityClass.JOIN
+    if (heartbeat_sender is not None
+            and label is Label.APP_DATA
+            and envelope.sender == heartbeat_sender):
+        return PriorityClass.HEARTBEAT
+    return PriorityClass.APP
+
+
+class TokenBucket:
+    """A deterministic token bucket over explicit timestamps.
+
+    ``rate`` tokens accrue per second up to ``burst``; :meth:`allow`
+    spends one.  Time never comes from a wall clock — the caller passes
+    ``now`` (virtual seconds), so two seeded runs make identical
+    decisions.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._stamp:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+
+    def peek(self, now: float) -> float:
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def allow(self, now: float) -> bool:
+        """Spend one token if available."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class FairShareConfig:
+    """Per-sender pacing knobs.
+
+    The defaults assume the soak's scale (tens of members, frames per
+    virtual second in the tens); real deployments tune them like any
+    rate limit.  ``exempt_control`` keeps CONTROL frames outside the
+    buckets — see the module docstring.
+    """
+
+    rate: float = 20.0
+    burst: float = 40.0
+    exempt_control: bool = True
+
+
+class FairShareAdmission:
+    """One token bucket per sender; floods exhaust only their own.
+
+    Buckets are created lazily on first sight of a sender and never
+    expire (the soak's sender population is bounded; a production
+    deployment would LRU them).  ``sheds`` counts refusals per sender —
+    the fairness evidence the bench asserts on: the flooder's count
+    dwarfs every honest member's.
+    """
+
+    def __init__(self, config: FairShareConfig | None = None) -> None:
+        self.config = config if config is not None else FairShareConfig()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.sheds: dict[str, int] = {}
+        self.admitted = 0
+
+    def bucket(self, sender: str) -> TokenBucket:
+        bucket = self._buckets.get(sender)
+        if bucket is None:
+            bucket = TokenBucket(self.config.rate, self.config.burst)
+            self._buckets[sender] = bucket
+        return bucket
+
+    def admit(
+        self, sender: str, priority: PriorityClass, now: float
+    ) -> bool:
+        """True when ``sender`` may enqueue one frame at ``now``."""
+        if self.config.exempt_control and priority is PriorityClass.CONTROL:
+            self.admitted += 1
+            return True
+        if self.bucket(sender).allow(now):
+            self.admitted += 1
+            return True
+        self.sheds[sender] = self.sheds.get(sender, 0) + 1
+        return False
+
+
+__all__ = [
+    "FairShareAdmission",
+    "FairShareConfig",
+    "PriorityClass",
+    "TokenBucket",
+    "classify_frame",
+]

@@ -1,0 +1,157 @@
+"""Per-link circuit breakers with deterministic, injected time.
+
+A breaker protects the *caller* of a flaky link from paying the
+failure cost on every attempt, and protects the *link* from a caller
+hammering it back into the ground.  The classic three states:
+
+* **CLOSED** — traffic flows; ``failure_threshold`` consecutive
+  failures trip it open.
+* **OPEN** — traffic is refused locally (no network cost) until
+  ``open_timeout`` virtual seconds elapse.
+* **HALF_OPEN** — a probe window: up to ``half_open_probes`` attempts
+  pass; ``close_successes`` consecutive successes close the breaker,
+  one failure re-opens it (with the cool-down restarted).
+
+Time is always a caller-supplied ``now`` in virtual seconds — the same
+discipline as the rest of the repo — so seeded soaks exercise breaker
+transitions byte-identically.  Telemetry is emitted on every state
+transition (:class:`~repro.telemetry.events.BreakerOpened` /
+``BreakerHalfOpened`` / ``BreakerClosed``), never per call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.telemetry.events import (
+    BreakerClosed,
+    BreakerHalfOpened,
+    BreakerOpened,
+    EventBus,
+)
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/cool-down/probe knobs for one circuit breaker."""
+
+    failure_threshold: int = 3
+    open_timeout: float = 2.0
+    half_open_probes: int = 1
+    close_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.open_timeout < 0:
+            raise ValueError("open_timeout must be >= 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        if self.close_successes < 1:
+            raise ValueError("close_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """One breaker guarding one link (shard, replica, or follower)."""
+
+    def __init__(
+        self,
+        node: str,
+        link: str,
+        config: BreakerConfig | None = None,
+        *,
+        telemetry: EventBus | None = None,
+    ) -> None:
+        self.node = node
+        self.link = link
+        self.config = config if config is not None else BreakerConfig()
+        self._telemetry = telemetry
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._probes_in_flight = 0
+        self._opened_at = 0.0
+        self.opens = 0
+        self.refusals = 0
+
+    # -- the gate ------------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May one attempt proceed at ``now``?
+
+        An OPEN breaker whose cool-down elapsed transitions to
+        HALF_OPEN here (the probe passes); a HALF_OPEN breaker admits
+        at most ``half_open_probes`` unresolved probes.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.config.open_timeout:
+                self._to_half_open()
+                self._probes_in_flight = 1
+                return True
+            self.refusals += 1
+            return False
+        # HALF_OPEN: bounded probe concurrency.
+        if self._probes_in_flight < self.config.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        self.refusals += 1
+        return False
+
+    # -- outcomes ------------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        self._consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.close_successes:
+                self.state = BreakerState.CLOSED
+                self._probe_successes = 0
+                if self._telemetry:
+                    self._telemetry.emit(
+                        BreakerClosed(self.node, self.link)
+                    )
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._open(now)
+            return
+        if self.state is BreakerState.OPEN:
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.config.failure_threshold:
+            self._open(now)
+
+    # -- transitions ---------------------------------------------------------
+
+    def _open(self, now: float) -> None:
+        failures = max(self._consecutive_failures, 1)
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self.opens += 1
+        if self._telemetry:
+            self._telemetry.emit(
+                BreakerOpened(self.node, self.link, failures)
+            )
+
+    def _to_half_open(self) -> None:
+        self.state = BreakerState.HALF_OPEN
+        self._probe_successes = 0
+        self._probes_in_flight = 0
+        if self._telemetry:
+            self._telemetry.emit(BreakerHalfOpened(self.node, self.link))
+
+
+__all__ = ["BreakerConfig", "BreakerState", "CircuitBreaker"]

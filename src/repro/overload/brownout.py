@@ -1,0 +1,165 @@
+"""Brownout: planned partial degradation under sustained saturation.
+
+A bounded mailbox keeps the leader *correct* at saturation; brownout
+keeps it *useful*.  When the saturation signal (mailbox occupancy
+fraction) stays above ``enter_threshold``, the controller drops into
+degraded mode and the leader's drivers consult three flags:
+
+* :attr:`BrownoutController.coalesce_rekeys` — membership-triggered
+  rekeys batch into one rotation per ``rekey_interval`` instead of one
+  per join/leave, trading key-freshness granularity for the O(members)
+  fan-out cost of each rotation (the single most expensive control
+  operation under a join surge).
+* :attr:`BrownoutController.defer_rebalance` — the fabric's rebalancer
+  proposals are parked; migrating groups *during* an overload spike
+  adds load exactly when there is none to spare.
+* :attr:`BrownoutController.shed_classes` — the priority classes the
+  mailbox sheds at the door (APP under brownout), on top of fair-share
+  admission.
+
+Recovery has **hysteresis**: the controller exits only after the
+signal has stayed at or below ``exit_threshold`` for ``min_dwell``
+consecutive virtual seconds — a single drained tick must not flap the
+group back into full-cost mode while the flood is still running.
+Entry and exit are telemetry events carrying the coalescing evidence
+(how many rekeys were folded, how many rebalances parked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overload.admission import PriorityClass
+from repro.telemetry.events import (
+    BrownoutEntered,
+    BrownoutExited,
+    EventBus,
+)
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Thresholds and hysteresis for one brownout controller."""
+
+    enter_threshold: float = 0.8
+    exit_threshold: float = 0.3
+    #: Virtual seconds the signal must stay <= exit_threshold.
+    min_dwell: float = 1.0
+    #: Virtual seconds between coalesced rekey flushes while degraded.
+    rekey_interval: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.enter_threshold <= 1.0:
+            raise ValueError("enter_threshold must be in (0, 1]")
+        if not 0.0 <= self.exit_threshold < self.enter_threshold:
+            raise ValueError(
+                "exit_threshold must be in [0, enter_threshold)"
+            )
+        if self.min_dwell < 0 or self.rekey_interval < 0:
+            raise ValueError("dwell/interval must be >= 0")
+
+
+class BrownoutController:
+    """Hysteretic two-level controller fed a saturation signal."""
+
+    def __init__(
+        self,
+        node: str,
+        config: BrownoutConfig | None = None,
+        *,
+        telemetry: EventBus | None = None,
+    ) -> None:
+        self.node = node
+        self.config = config if config is not None else BrownoutConfig()
+        self._telemetry = telemetry
+        self.active = False
+        self._calm_since: float | None = None
+        self._last_rekey_flush = 0.0
+        self.episodes = 0
+        self.coalesced_rekeys = 0
+        self.deferred_rebalances = 0
+        self._pending_rekey = False
+
+    # -- the control loop ----------------------------------------------------
+
+    def observe(self, saturation: float, now: float) -> None:
+        """Feed one saturation reading (occupancy fraction) at ``now``."""
+        cfg = self.config
+        if not self.active:
+            if saturation >= cfg.enter_threshold:
+                self.active = True
+                self.episodes += 1
+                self._calm_since = None
+                self._last_rekey_flush = now
+                if self._telemetry:
+                    self._telemetry.emit(BrownoutEntered(
+                        self.node, "brownout", saturation
+                    ))
+            return
+        if saturation > cfg.exit_threshold:
+            self._calm_since = None
+            return
+        if self._calm_since is None:
+            self._calm_since = now
+            return
+        if now - self._calm_since >= cfg.min_dwell:
+            self.active = False
+            self._calm_since = None
+            if self._telemetry:
+                self._telemetry.emit(BrownoutExited(
+                    self.node,
+                    self.coalesced_rekeys,
+                    self.deferred_rebalances,
+                ))
+
+    # -- what drivers consult -------------------------------------------------
+
+    @property
+    def coalesce_rekeys(self) -> bool:
+        return self.active
+
+    @property
+    def defer_rebalance(self) -> bool:
+        return self.active
+
+    @property
+    def shed_classes(self) -> frozenset[PriorityClass]:
+        """Classes the mailbox should shed at the door right now."""
+        if self.active:
+            return frozenset({PriorityClass.APP})
+        return frozenset()
+
+    # -- rekey coalescing helper ----------------------------------------------
+
+    def note_rekey_wanted(self, now: float) -> bool:
+        """One membership change wants a rekey; should it run *now*?
+
+        Outside brownout: always yes.  Inside: the request is latched
+        and only the first caller after ``rekey_interval`` elapses gets
+        a True — everyone else's rotation folds into that flush (and is
+        counted in ``coalesced_rekeys``, the evidence the soak report
+        carries).
+        """
+        if not self.active:
+            return True
+        if now - self._last_rekey_flush >= self.config.rekey_interval:
+            self._last_rekey_flush = now
+            self._pending_rekey = False
+            return True
+        self.coalesced_rekeys += 1
+        self._pending_rekey = True
+        return False
+
+    def flush_pending_rekey(self) -> bool:
+        """True once if a coalesced rekey is still owed (call on exit
+        from brownout so the last batch of membership changes gets its
+        rotation)."""
+        owed = self._pending_rekey
+        self._pending_rekey = False
+        return owed
+
+    def note_rebalance_deferred(self) -> None:
+        self.deferred_rebalances += 1
+
+
+__all__ = ["BrownoutConfig", "BrownoutController"]

@@ -1,0 +1,147 @@
+"""Adaptive deadlines and retry budgets.
+
+Fixed timeouts are wrong twice under overload: too short, and a merely
+slow system is treated as dead (retry storms that deepen the overload);
+too long, and a dead link ties up a recovery path for the full budget.
+:class:`LatencyTracker` follows the classic RTO estimator (RFC 6298 /
+Jacobson): an EWMA of the mean plus an EWMA of the deviation, giving a
+deadline of ``srtt + multiplier * dev`` clamped to ``[floor, cap]``.
+It is pure arithmetic over caller-supplied samples — no clock, fully
+deterministic.
+
+:class:`RetryBudget` is the deposit/withdraw scheme from production RPC
+stacks (Finagle's ``RetryBudget``): every *original* request deposits a
+fraction of a retry token; every retry withdraws a whole one.  Steady
+traffic earns a steady retry allowance; a correlated failure (dead
+leader, partition) drains the budget after at most ``ratio`` of recent
+traffic has been retried, converting a thundering retry herd into a
+bounded, observable give-up.  A ``min_reserve`` floor keeps cold-start
+retries (first reconnect of a quiet client) possible.
+
+Both layer on — not replace — :class:`~repro.util.backoff.BackoffPolicy`:
+backoff decides *when* the next attempt happens; the budget decides
+*whether* it happens; the deadline decides *how long* it may run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LatencyTracker:
+    """EWMA mean + deviation over operation latencies (seconds)."""
+
+    __slots__ = ("alpha", "beta", "srtt", "dev", "samples")
+
+    def __init__(self, alpha: float = 0.125, beta: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("alpha and beta must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.srtt = 0.0
+        self.dev = 0.0
+        self.samples = 0
+
+    def observe(self, sample: float) -> None:
+        """Fold one latency sample into the estimator."""
+        if sample < 0:
+            raise ValueError("latency samples must be >= 0")
+        if self.samples == 0:
+            self.srtt = sample
+            self.dev = sample / 2.0
+        else:
+            err = sample - self.srtt
+            self.srtt += self.alpha * err
+            self.dev += self.beta * (abs(err) - self.dev)
+        self.samples += 1
+
+
+@dataclass(frozen=True)
+class AdaptiveDeadline:
+    """A deadline derived from a :class:`LatencyTracker`.
+
+    Until ``warmup`` samples arrive the deadline is ``floor`` — a
+    fresh system has no business guessing tight deadlines from one or
+    two observations.
+    """
+
+    tracker: LatencyTracker
+    multiplier: float = 4.0
+    floor: float = 0.25
+    cap: float = 30.0
+    warmup: int = 3
+
+    def __post_init__(self) -> None:
+        if self.floor < 0 or self.cap < self.floor:
+            raise ValueError("need 0 <= floor <= cap")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be > 0")
+
+    def current(self) -> float:
+        """The deadline (seconds) for the next operation."""
+        if self.tracker.samples < self.warmup:
+            return self.floor
+        raw = self.tracker.srtt + self.multiplier * self.tracker.dev
+        return min(self.cap, max(self.floor, raw))
+
+    def observe(self, sample: float) -> None:
+        """Convenience passthrough to the tracker."""
+        self.tracker.observe(sample)
+
+
+class RetryBudget:
+    """Deposit-per-request / withdraw-per-retry token budget.
+
+    ``ratio`` is the long-run retries-per-request allowance; the token
+    pool is capped at ``ratio * window`` so an idle-then-failing client
+    cannot burst an unbounded hoard; ``min_reserve`` whole retries are
+    always available even with zero deposits (cold start).
+    """
+
+    __slots__ = ("ratio", "window", "min_reserve", "_tokens",
+                 "requests", "retries", "denied")
+
+    def __init__(
+        self,
+        ratio: float = 0.2,
+        window: int = 50,
+        min_reserve: int = 3,
+    ) -> None:
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("ratio must be in [0, 1]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if min_reserve < 0:
+            raise ValueError("min_reserve must be >= 0")
+        self.ratio = ratio
+        self.window = window
+        self.min_reserve = min_reserve
+        self._tokens = float(min_reserve)
+        self.requests = 0
+        self.retries = 0
+        self.denied = 0
+
+    @property
+    def balance(self) -> float:
+        return self._tokens
+
+    def record_request(self) -> None:
+        """One original (non-retry) operation: deposit ``ratio``."""
+        self.requests += 1
+        cap = max(self.min_reserve, self.ratio * self.window)
+        self._tokens = min(cap, self._tokens + self.ratio)
+
+    def can_retry(self) -> bool:
+        return self._tokens >= 1.0
+
+    def record_retry(self) -> bool:
+        """Withdraw one retry token; False when the budget is dry."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.retries += 1
+            return True
+        self.denied += 1
+        return False
+
+
+__all__ = ["AdaptiveDeadline", "LatencyTracker", "RetryBudget"]

@@ -646,6 +646,154 @@ class ViewChangeCompleted(TelemetryEvent):
     epoch: int
 
 
+# overload (backpressure / admission / breakers / brownout) -------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameShed(TelemetryEvent):
+    """An ingest queue refused one frame under overload.
+
+    ``reason`` is one of ``capacity`` (the bounded mailbox was full and
+    nothing lower-priority could be evicted), ``fair_share`` (the
+    sender exhausted its per-sender token bucket), or ``brownout``
+    (the brownout controller is shedding this priority class).  The
+    typed record is the whole point: the seed transport grew its
+    mailbox silently, so a flooding insider was invisible until honest
+    members starved."""
+
+    node: str
+    sender: str
+    label: str
+    priority: str
+    reason: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class QueueSaturated(TelemetryEvent):
+    """A bounded mailbox crossed into saturation (depth hit capacity).
+
+    Emitted once per saturation episode — the mailbox re-arms after
+    draining below half capacity — so a sustained flood produces a
+    bounded evidence stream, not one event per shed frame."""
+
+    node: str
+    depth: int
+    capacity: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class FrameUnroutable(TelemetryEvent):
+    """The leader endpoint dropped an outbound frame with no live link
+    for its recipient (the seed path dropped these silently)."""
+
+    node: str
+    recipient: str
+    label: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RouteReclaimed(TelemetryEvent):
+    """A TCP peer claimed a return-route address another live link held.
+
+    Legitimate after a member reconnects; an evidence trail when an
+    insider tries to steal a peer's return route (the crypto already
+    makes the theft useless — this makes it *observable*)."""
+
+    node: str
+    peer: str
+    frame: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class TransportError(TelemetryEvent):
+    """An unexpected (non-stream) exception surfaced from a transport
+    handler — previously swallowed by a blanket ``except``."""
+
+    node: str
+    peer: str
+    error: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class BreakerOpened(TelemetryEvent):
+    """A circuit breaker tripped open after consecutive link failures."""
+
+    node: str
+    link: str
+    failures: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class BreakerHalfOpened(TelemetryEvent):
+    """An open breaker's cool-down elapsed; probes may now pass."""
+
+    node: str
+    link: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class BreakerClosed(TelemetryEvent):
+    """A half-open breaker saw enough probe successes to close."""
+
+    node: str
+    link: str
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class BrownoutEntered(TelemetryEvent):
+    """Sustained saturation pushed the controller into degraded mode:
+    rekeys coalesce, rebalancing defers, lowest-priority work sheds."""
+
+    node: str
+    level: str
+    saturation: float
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class BrownoutExited(TelemetryEvent):
+    """The saturation signal stayed below the exit threshold for the
+    dwell period; full service resumed."""
+
+    node: str
+    coalesced_rekeys: int
+    deferred_rebalances: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RetryBudgetExhausted(TelemetryEvent):
+    """A retry loop stopped early: its budget ran dry.
+
+    Retry budgets convert a correlated failure (dead leader, partition)
+    from a retry storm into a bounded, observable give-up."""
+
+    node: str
+    operation: str
+    attempts: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class DeadlineExceeded(TelemetryEvent):
+    """An operation overran its (adaptive) deadline."""
+
+    node: str
+    operation: str
+    deadline: float
+    elapsed: float
+
+
 # observability ---------------------------------------------------------------
 
 

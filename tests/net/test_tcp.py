@@ -106,3 +106,187 @@ class TestTcpTransport:
             return len(envelope.body)
 
         assert run(scenario()) == 200_000
+
+
+class TestTcpEdgeCases:
+    """Adversarial stream shapes: oversized frames, mid-frame death,
+    route theft, and a saturated leader mailbox."""
+
+    def test_oversized_frame_rejected(self):
+        """A length header past the cap must drop the link, not allocate."""
+        import struct
+
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", transport._port
+            )
+            writer.write(struct.pack(">I", (1 << 24) + 1))
+            writer.write(b"\x00" * 64)
+            await writer.drain()
+            # The leader drops the link; our end sees EOF eventually.
+            data = await asyncio.wait_for(reader.read(), 2)
+            writer.close()
+            await leader.close()
+            return data
+
+        assert run(scenario()) == b""
+
+    def test_mid_frame_disconnect(self):
+        """A peer dying halfway through a frame must not wedge or kill
+        the leader — other members keep working."""
+        import struct
+
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", transport._port
+            )
+            # Announce a 1000-byte frame, send 10 bytes, hang up.
+            writer.write(struct.pack(">I", 1000) + b"\x00" * 10)
+            await writer.drain()
+            writer.close()
+            await asyncio.sleep(0.05)
+            # A healthy member still gets through.
+            member = await transport.attach("alice")
+            await member.send(
+                Envelope(Label.AUTH_INIT_REQ, "alice", "leader", b"ok")
+            )
+            envelope = await asyncio.wait_for(leader.recv(), 2)
+            await member.close()
+            await leader.close()
+            return envelope.body
+
+        assert run(scenario()) == b"ok"
+
+    def test_garbage_frame_drops_link_quietly(self):
+        """Undecodable bytes inside a well-formed length prefix are a
+        CodecError — an expected stream error, not a crash."""
+        import struct
+
+        async def scenario():
+            transport = TcpTransport(port=0)
+            leader = await transport.attach("leader")
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", transport._port
+            )
+            payload = b"\xff" * 32
+            writer.write(struct.pack(">I", len(payload)) + payload)
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), 2)
+            writer.close()
+            await leader.close()
+            return data
+
+        assert run(scenario()) == b""
+
+    def test_route_reclaim_telemetry(self):
+        """A second link claiming an existing return route is observable."""
+        from repro.telemetry.events import EventBus, RouteReclaimed
+
+        async def scenario():
+            bus = EventBus()
+            seen = []
+            bus.subscribe(
+                lambda r: seen.append(r.event)
+                if isinstance(r.event, RouteReclaimed) else None
+            )
+            transport = TcpTransport(port=0, telemetry=bus)
+            leader = await transport.attach("leader")
+            honest = await transport.attach("alice")
+            await honest.send(
+                Envelope(Label.AUTH_INIT_REQ, "alice", "leader", b"")
+            )
+            await leader.recv()
+            # A different connection claims alice's return route.
+            thief = await transport.attach("mallory-socket")
+            await thief.send(
+                Envelope(Label.APP_DATA, "alice", "leader", b"stolen")
+            )
+            await leader.recv()
+            await honest.close()
+            await thief.close()
+            await leader.close()
+            return seen
+
+        seen = run(scenario())
+        assert len(seen) == 1
+        assert seen[0].peer == "alice"
+
+    def test_unroutable_telemetry(self):
+        from repro.telemetry.events import EventBus, FrameUnroutable
+
+        async def scenario():
+            bus = EventBus()
+            seen = []
+            bus.subscribe(
+                lambda r: seen.append(r.event)
+                if isinstance(r.event, FrameUnroutable) else None
+            )
+            transport = TcpTransport(port=0, telemetry=bus)
+            leader = await transport.attach("leader")
+            await leader.send(
+                Envelope(Label.ADMIN_MSG, "leader", "ghost", b"x")
+            )
+            await leader.close()
+            return seen
+
+        seen = run(scenario())
+        assert len(seen) == 1
+        assert seen[0].recipient == "ghost"
+        assert seen[0].label == "ADMIN_MSG"
+
+    def test_bounded_mailbox_overflow_sheds(self):
+        """With a bounded mailbox the leader sheds instead of growing."""
+        from repro.overload.mailbox import BoundedMailbox, MailboxConfig
+
+        async def scenario():
+            mailbox = BoundedMailbox("leader", MailboxConfig(capacity=4))
+            transport = TcpTransport(port=0, mailbox=mailbox)
+            leader = await transport.attach("leader")
+            member = await transport.attach("mallory")
+            for i in range(10):
+                await member.send(
+                    Envelope(Label.APP_DATA, "mallory", "leader", bytes([i]))
+                )
+            # Let the server task ingest everything before reading.
+            for _ in range(50):
+                await asyncio.sleep(0.01)
+                if mailbox.stats.offered >= 10:
+                    break
+            received = []
+            while mailbox.depth:
+                received.append(await asyncio.wait_for(leader.recv(), 2))
+            await member.close()
+            await leader.close()
+            return mailbox.stats, received
+
+        stats, received = run(scenario())
+        assert stats.offered == 10
+        assert stats.accepted == 4
+        assert stats.shed_capacity == 6
+        assert len(received) == 4
+
+    def test_recv_wakes_on_mailbox_arrival(self):
+        """A recv() parked on an empty bounded mailbox must wake when
+        a frame lands (and unblock cleanly on close)."""
+        from repro.overload.mailbox import BoundedMailbox, MailboxConfig
+
+        async def scenario():
+            mailbox = BoundedMailbox("leader", MailboxConfig(capacity=4))
+            transport = TcpTransport(port=0, mailbox=mailbox)
+            leader = await transport.attach("leader")
+            member = await transport.attach("alice")
+            waiter = asyncio.create_task(leader.recv())
+            await asyncio.sleep(0.02)
+            await member.send(
+                Envelope(Label.AUTH_INIT_REQ, "alice", "leader", b"late")
+            )
+            envelope = await asyncio.wait_for(waiter, 2)
+            await member.close()
+            await leader.close()
+            return envelope.body
+
+        assert run(scenario()) == b"late"

@@ -1,0 +1,122 @@
+"""Tests for priority classification and fair-share admission."""
+
+import pytest
+
+from repro.overload.admission import (
+    FairShareAdmission,
+    FairShareConfig,
+    PriorityClass,
+    TokenBucket,
+    classify_frame,
+)
+from repro.wire.labels import Label
+from repro.wire.message import Envelope, wrap_group
+
+
+def frame(label, sender="alice", recipient="leader", body=b""):
+    return Envelope(label, sender, recipient, body)
+
+
+class TestClassifyFrame:
+    def test_control_labels(self):
+        for label in (Label.ADMIN_MSG, Label.ACK, Label.REQ_CLOSE,
+                      Label.NEW_KEY, Label.GROUP_REDIRECT,
+                      Label.CLOSE_CONNECTION, Label.CONNECTION_DENIED):
+            assert classify_frame(frame(label)) is PriorityClass.CONTROL
+
+    def test_join_labels_both_stacks(self):
+        for label in (Label.AUTH_INIT_REQ, Label.AUTH_KEY_DIST,
+                      Label.AUTH_ACK_KEY, Label.REQ_OPEN,
+                      Label.LEGACY_AUTH_1):
+            assert classify_frame(frame(label)) is PriorityClass.JOIN
+
+    def test_app_data_defaults_to_app(self):
+        assert classify_frame(frame(Label.APP_DATA)) is PriorityClass.APP
+
+    def test_heartbeat_needs_the_sender_hint(self):
+        beacon = frame(Label.APP_DATA, sender="leader")
+        assert classify_frame(beacon) is PriorityClass.APP
+        assert (classify_frame(beacon, heartbeat_sender="leader")
+                is PriorityClass.HEARTBEAT)
+        # The hint never promotes another sender's app traffic.
+        assert (classify_frame(frame(Label.APP_DATA, sender="mallory"),
+                               heartbeat_sender="leader")
+                is PriorityClass.APP)
+
+    def test_group_wrap_classified_by_inner(self):
+        inner = frame(Label.AUTH_INIT_REQ)
+        wrapped = wrap_group("g1", inner, "shard-0")
+        assert classify_frame(wrapped) is PriorityClass.JOIN
+
+    def test_group_wrap_hint_reaches_inner(self):
+        inner = frame(Label.APP_DATA, sender="leader")
+        wrapped = wrap_group("g1", inner, "shard-0")
+        assert (classify_frame(wrapped, heartbeat_sender="leader")
+                is PriorityClass.HEARTBEAT)
+
+    def test_malformed_wrap_is_app(self):
+        bogus = Envelope(Label.GROUP_WRAP, "x", "y", b"\x00garbage")
+        assert classify_frame(bogus) is PriorityClass.APP
+
+    def test_priority_ordering(self):
+        assert (PriorityClass.CONTROL < PriorityClass.HEARTBEAT
+                < PriorityClass.JOIN < PriorityClass.APP)
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.allow(0.0) and bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(0.5)  # 0.5s * 2/s = 1 token back
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.peek(100.0) == 2.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.allow(5.0)
+        # An earlier timestamp must not mint tokens.
+        assert not bucket.allow(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0.5)
+
+
+class TestFairShareAdmission:
+    def test_flooder_exhausts_only_its_own_bucket(self):
+        admission = FairShareAdmission(FairShareConfig(rate=1.0, burst=2.0))
+        for _ in range(10):
+            admission.admit("mallory", PriorityClass.APP, 0.0)
+        assert admission.admit("alice", PriorityClass.APP, 0.0)
+        assert admission.sheds == {"mallory": 8}
+
+    def test_control_exempt_by_default(self):
+        admission = FairShareAdmission(FairShareConfig(rate=1.0, burst=1.0))
+        assert admission.admit("mallory", PriorityClass.APP, 0.0)
+        assert not admission.admit("mallory", PriorityClass.APP, 0.0)
+        # CONTROL sails past the dry bucket.
+        assert admission.admit("mallory", PriorityClass.CONTROL, 0.0)
+
+    def test_control_exemption_can_be_disabled(self):
+        admission = FairShareAdmission(
+            FairShareConfig(rate=1.0, burst=1.0, exempt_control=False)
+        )
+        assert admission.admit("m", PriorityClass.CONTROL, 0.0)
+        assert not admission.admit("m", PriorityClass.CONTROL, 0.0)
+
+    def test_admitted_counter(self):
+        admission = FairShareAdmission(FairShareConfig(rate=1.0, burst=1.0))
+        admission.admit("a", PriorityClass.APP, 0.0)
+        admission.admit("a", PriorityClass.APP, 0.0)
+        assert admission.admitted == 1

@@ -1,0 +1,94 @@
+"""Tests for the per-link circuit breaker."""
+
+from repro.overload.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.telemetry.events import (
+    BreakerClosed,
+    BreakerHalfOpened,
+    BreakerOpened,
+    EventBus,
+)
+
+
+def make(bus=None, **kwargs):
+    config = BreakerConfig(**kwargs) if kwargs else BreakerConfig()
+    return CircuitBreaker("leader", "rep-1", config, telemetry=bus)
+
+
+class TestCircuitBreaker:
+    def test_threshold_consecutive_failures_trip(self):
+        breaker = make(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(0.2)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = make(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_refuses_until_cooldown(self):
+        breaker = make(failure_threshold=1, open_timeout=2.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(1.0)
+        assert breaker.refusals == 1
+        assert breaker.allow(2.0)  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_bounds_probe_concurrency(self):
+        breaker = make(failure_threshold=1, open_timeout=1.0,
+                       half_open_probes=1)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        assert not breaker.allow(1.0)  # second probe refused
+
+    def test_probe_success_closes(self):
+        breaker = make(failure_threshold=1, open_timeout=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_success(1.5)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(1.5)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = make(failure_threshold=1, open_timeout=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(1.5)  # cool-down restarted at t=1.0
+        assert breaker.allow(2.0)
+
+    def test_close_successes_requires_a_streak(self):
+        breaker = make(failure_threshold=1, open_timeout=1.0,
+                       half_open_probes=2, close_successes=2)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        breaker.record_success(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow(1.1)
+        breaker.record_success(1.1)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_transition_telemetry_only(self):
+        bus = EventBus()
+        watched = (BreakerOpened, BreakerHalfOpened, BreakerClosed)
+        seen = []
+        bus.subscribe(
+            lambda r: seen.append(r.event) if isinstance(r.event, watched)
+            else None
+        )
+        breaker = make(bus, failure_threshold=2, open_timeout=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)   # -> OPEN
+        breaker.allow(0.5)            # refused, no event
+        breaker.allow(1.2)            # -> HALF_OPEN
+        breaker.record_success(1.2)   # -> CLOSED
+        assert [type(e).__name__ for e in seen] == [
+            "BreakerOpened", "BreakerHalfOpened", "BreakerClosed"
+        ]
+        assert seen[0].failures == 2

@@ -1,0 +1,152 @@
+"""Tests for the bounded priority mailbox."""
+
+import pytest
+
+from repro.overload.admission import (
+    FairShareAdmission,
+    FairShareConfig,
+    PriorityClass,
+)
+from repro.overload.mailbox import (
+    SHED_BROWNOUT,
+    SHED_CAPACITY,
+    SHED_FAIR_SHARE,
+    BoundedMailbox,
+    MailboxConfig,
+)
+from repro.telemetry.events import EventBus, FrameShed, QueueSaturated
+from repro.wire.labels import Label
+from repro.wire.message import Envelope
+
+
+def app(sender="alice", n=0):
+    return Envelope(Label.APP_DATA, sender, "leader", bytes([n % 256]))
+
+
+def join(sender="bob"):
+    return Envelope(Label.AUTH_INIT_REQ, sender, "leader", b"")
+
+
+def control(sender="leader"):
+    return Envelope(Label.ADMIN_MSG, sender, "alice", b"")
+
+
+class TestBoundedMailbox:
+    def test_capacity_shed(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=2))
+        assert box.offer(app(n=0))
+        assert box.offer(app(n=1))
+        assert not box.offer(app(n=2))
+        assert box.stats.shed_capacity == 1
+        assert box.stats.shed_by_sender == {"alice": 1}
+
+    def test_priority_order_on_take(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=8))
+        box.offer(app())
+        box.offer(join())
+        box.offer(control())
+        assert box.take().label is Label.ADMIN_MSG
+        assert box.take().label is Label.AUTH_INIT_REQ
+        assert box.take().label is Label.APP_DATA
+        assert box.take() is None
+
+    def test_fifo_within_class(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=8))
+        box.offer(app(n=1))
+        box.offer(app(n=2))
+        assert box.take().body == b"\x01"
+        assert box.take().body == b"\x02"
+
+    def test_high_priority_evicts_newest_lowest(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=2))
+        box.offer(app(n=1))
+        box.offer(app(n=2))
+        assert box.offer(join())  # evicts app #2, not app #1
+        assert box.stats.evicted == 1
+        assert box.take().label is Label.AUTH_INIT_REQ
+        assert box.take().body == b"\x01"
+
+    def test_low_priority_never_evicts_high(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=2))
+        box.offer(join())
+        box.offer(join())
+        assert not box.offer(app())
+        assert box.stats.evicted == 0
+
+    def test_saturation_episode_latch_and_rearm(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(
+            lambda r: seen.append(r.event)
+            if isinstance(r.event, QueueSaturated) else None
+        )
+        box = BoundedMailbox(
+            "leader", MailboxConfig(capacity=4), telemetry=bus
+        )
+        for i in range(6):
+            box.offer(app(n=i))
+        assert box.stats.saturation_episodes == 1
+        assert len(seen) == 1
+        # Draining to half capacity re-arms the latch.
+        box.take()
+        box.take()
+        for i in range(4):
+            box.offer(app(n=i))
+        assert box.stats.saturation_episodes == 2
+
+    def test_fair_share_integration(self):
+        fair = FairShareAdmission(FairShareConfig(rate=1.0, burst=1.0))
+        box = BoundedMailbox(
+            "leader", MailboxConfig(capacity=100, fair_share=fair)
+        )
+        assert box.offer(app("mallory"), now=0.0)
+        assert not box.offer(app("mallory"), now=0.0)
+        assert box.offer(app("alice"), now=0.0)
+        assert box.stats.shed_fair_share == 1
+
+    def test_brownout_sheds_at_the_door(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=100))
+        box.set_brownout_classes({PriorityClass.APP})
+        assert not box.offer(app())
+        assert box.offer(join())
+        assert box.stats.shed_brownout == 1
+        box.set_brownout_classes(frozenset())
+        assert box.offer(app())
+
+    def test_shed_telemetry_reasons(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(
+            lambda r: seen.append(r.event)
+            if isinstance(r.event, FrameShed) else None
+        )
+        fair = FairShareAdmission(FairShareConfig(rate=1.0, burst=1.0))
+        box = BoundedMailbox(
+            "leader", MailboxConfig(capacity=1, fair_share=fair),
+            telemetry=bus,
+        )
+        box.set_brownout_classes({PriorityClass.HEARTBEAT})
+        box.offer(app("m"), now=0.0, priority=PriorityClass.HEARTBEAT)
+        box.offer(app("m"), now=0.0)      # fills capacity
+        box.offer(app("m"), now=0.0)      # fair-share dry
+        box.offer(app("a"), now=0.0)      # capacity full
+        assert [e.reason for e in seen] == [
+            SHED_BROWNOUT, SHED_FAIR_SHARE, SHED_CAPACITY
+        ]
+
+    def test_drain_budget(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=10))
+        for i in range(5):
+            box.offer(app(n=i))
+        assert len(box.drain(3)) == 3
+        assert box.depth == 2
+
+    def test_explicit_priority_overrides_classification(self):
+        box = BoundedMailbox("leader", MailboxConfig(capacity=4))
+        box.offer(app("leader"), priority=PriorityClass.HEARTBEAT)
+        box.offer(join())
+        assert box.take().sender == "leader"  # heartbeat before join
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MailboxConfig(capacity=0)

@@ -1,0 +1,148 @@
+"""Tests for circuit-broken journal shipping.
+
+A follower behind a flaky link must not slow the primary down — while
+its breaker is open, records are *marked missed* (the replica stays
+honest and unpromotable) instead of shipped; a catch-up snapshot is the
+half-open probe that re-bases and re-closes the link.
+"""
+
+import pytest
+
+from repro.crypto.keys import KEY_LEN, KeyMaterial
+from repro.crypto.rng import DeterministicRandom
+from repro.enclaves.common import UserDirectory
+from repro.enclaves.harness import SyncNetwork, wire
+from repro.enclaves.itgm.admin import TextPayload
+from repro.enclaves.itgm.failover import ManagerSet
+from repro.enclaves.itgm.member import MemberProtocol
+from repro.exceptions import RecoveryError
+from repro.overload.breaker import BreakerConfig, BreakerState
+from repro.storage.journal import Journal
+from repro.storage.shipping import JournalFollower, JournalShipper, promote
+from repro.storage.simdisk import SimDisk
+from repro.telemetry.events import EventBus, FollowerLagged
+from repro.util.clock import TickClock
+
+
+class Fixture:
+    def __init__(self, telemetry=None):
+        rng = DeterministicRandom(23)
+        self.net = SyncNetwork()
+        self.directory = UserDirectory()
+        creds = self.directory.register_password("alice", "pw")
+        self.managers = ManagerSet.create(
+            2, self.directory, rng=rng.fork("mgrs")
+        )
+        for manager_id, manager in self.managers.managers.items():
+            wire(self.net, manager_id, manager)
+        self.member = MemberProtocol(creds, "mgr-0", rng.fork("alice"))
+        wire(self.net, "alice", self.member)
+        self.disk = SimDisk(rng=rng.fork("disk"))
+        self.storage_key = KeyMaterial(
+            rng.fork("storage").key_material(KEY_LEN)
+        )
+        self.journal = Journal(
+            self.disk, "mgr-0.wal", self.storage_key,
+            rng=rng.fork("seal"), node="mgr-0",
+        )
+        self.journal.attach(self.managers.primary)
+        self.clock = TickClock(step=1.0)
+        self.shipper = JournalShipper(
+            self.journal,
+            telemetry=telemetry,
+            breaker_config=BreakerConfig(
+                failure_threshold=2, open_timeout=3.0
+            ),
+            clock=self.clock,
+        )
+        self.follower = JournalFollower("mgr-1", self.storage_key)
+        self.shipper.add_follower(
+            self.follower, leader=self.managers.primary
+        )
+        self.rng = rng
+        # One live member so admin broadcasts are journaled mutations.
+        self.net.post(self.member.start_join())
+        self.net.run()
+
+    def mutate(self):
+        """One journaled mutation (admin broadcast) on the primary."""
+        self.net.post_all(
+            self.managers.primary.broadcast_admin(TextPayload("tick"))
+        )
+        self.net.run()
+
+
+class TestShipperBreaker:
+    def test_closed_breaker_ships_normally(self):
+        fx = Fixture()
+        fx.mutate()
+        assert fx.follower.applied_seq == fx.follower.offered_seq
+        assert fx.shipper.skipped == {}
+
+    def test_open_breaker_skips_and_marks_missed(self):
+        fx = Fixture()
+        fx.shipper.report_failure("mgr-1")
+        fx.shipper.report_failure("mgr-1")  # threshold=2 -> OPEN
+        assert fx.shipper.breaker("mgr-1").state is BreakerState.OPEN
+        fx.mutate()
+        assert fx.shipper.skipped.get("mgr-1", 0) >= 1
+        assert fx.follower.applied_seq < fx.follower.offered_seq
+
+    def test_skipped_follower_is_not_promotable(self):
+        fx = Fixture()
+        fx.shipper.report_failure("mgr-1")
+        fx.shipper.report_failure("mgr-1")
+        fx.mutate()
+        fx.managers.fail_primary()
+        with pytest.raises(RecoveryError):
+            promote(fx.follower, fx.managers, rng=fx.rng.fork("p"))
+
+    def test_catch_up_refused_during_cooldown(self):
+        fx = Fixture()
+        fx.shipper.report_failure("mgr-1")   # clock at t, t+1
+        fx.shipper.report_failure("mgr-1")
+        # TickClock advances 1s per read; open_timeout=3 is not yet up.
+        assert not fx.shipper.catch_up(fx.follower, fx.managers.primary)
+
+    def test_catch_up_rebases_and_closes(self):
+        fx = Fixture()
+        fx.shipper.report_failure("mgr-1")
+        fx.shipper.report_failure("mgr-1")
+        fx.mutate()
+        for _ in range(4):
+            fx.clock.now()  # let the cool-down elapse
+        assert fx.shipper.catch_up(fx.follower, fx.managers.primary)
+        assert fx.shipper.breaker("mgr-1").state is BreakerState.CLOSED
+        assert fx.follower.applied_seq == fx.follower.offered_seq
+        # And it ships (and is promotable) again.
+        fx.mutate()
+        assert fx.follower.applied_seq == fx.follower.offered_seq
+        fx.managers.fail_primary()
+        promote(fx.follower, fx.managers, rng=fx.rng.fork("p"))
+
+    def test_skip_telemetry(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(
+            lambda r: seen.append(r.event)
+            if isinstance(r.event, FollowerLagged) else None
+        )
+        fx = Fixture(telemetry=bus)
+        fx.shipper.report_failure("mgr-1")
+        fx.shipper.report_failure("mgr-1")
+        fx.mutate()
+        assert any(e.peer == "mgr-1" for e in seen)
+
+    def test_no_breaker_config_is_inert(self):
+        rng = DeterministicRandom(5)
+        directory = UserDirectory()
+        managers = ManagerSet.create(2, directory, rng=rng.fork("m"))
+        key = KeyMaterial(rng.fork("k").key_material(KEY_LEN))
+        journal = Journal(
+            SimDisk(rng=rng.fork("d")), "x.wal", key,
+            rng=rng.fork("s"), node="mgr-0",
+        )
+        journal.attach(managers.primary)
+        shipper = JournalShipper(journal)
+        assert shipper.breaker("anything") is None
+        shipper.report_failure("anything")  # no-op, no crash

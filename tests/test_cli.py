@@ -210,3 +210,22 @@ class TestParser:
         assert "frobnicate" in err  # the error names the bad input
         assert "commands:" in err
         assert "fabric" in err
+
+
+class TestOverloadCommand:
+    def test_soak_protection_holds(self, capsys):
+        code = main(["overload", "soak", "--duration", "4",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protection holds" in out
+        assert "unprotected" in out
+
+    def test_soak_jsonl_export(self, tmp_path, capsys):
+        out_path = tmp_path / "overload.jsonl"
+        code = main(["overload", "soak", "--duration", "4",
+                     "--seed", "3", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "schema-valid" in out
+        assert out_path.read_text().strip()
