@@ -367,11 +367,14 @@ class ResilientMemberClient:
         down_since = self._now()
         attempts_here = 0
         rotation = self._rotation()
+        if self._retry_budget is not None:
+            # One deposit per reconnect *episode* — the Finagle scheme
+            # the budget documents: only original requests deposit;
+            # the retries below must not replenish what they withdraw.
+            self._retry_budget.record_request()
         for _round in range(self.config.max_rounds):
             for manager_id in rotation:
                 self.attempts += 1
-                if self._retry_budget is not None:
-                    self._retry_budget.record_request()
                 if await self._attempt(manager_id):
                     now = self._now()
                     downtime = now - down_since

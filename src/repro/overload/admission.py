@@ -13,8 +13,15 @@ mailbox:
 2. **Is the sender within its fair share?**  :class:`FairShareAdmission`
    keeps one :class:`TokenBucket` per sender, so one flooding insider
    exhausts *its own* bucket while honest peers' buckets stay full.
-   CONTROL frames bypass the buckets entirely — they are few, and
-   refusing them converts overload into protocol desync.
+   CONTROL frames get a *separate, generous* per-sender bucket rather
+   than a blanket exemption: the class is derived from the plaintext
+   wire label, which the leader must not trust (see
+   ``repro.net.tcp``), so an exemption would let an insider label its
+   flood ``ACK``/``ADMIN_MSG`` and skip pacing entirely — filling the
+   mailbox at top priority, where lower classes can never evict it.
+   The control bucket is sized so honest control traffic (a handful of
+   acks and rekey legs per sender) never hits it, while a mislabeled
+   flood is shed just like any other flood.
 
 Both are pure arithmetic over an explicitly passed ``now`` (virtual
 seconds), so seeded soaks are deterministic and no wall clock is ever
@@ -138,13 +145,16 @@ class FairShareConfig:
 
     The defaults assume the soak's scale (tens of members, frames per
     virtual second in the tens); real deployments tune them like any
-    rate limit.  ``exempt_control`` keeps CONTROL frames outside the
-    buckets — see the module docstring.
+    rate limit.  ``control_rate``/``control_burst`` size the separate
+    per-sender CONTROL bucket — generous relative to honest control
+    traffic, but a hard ceiling on an insider mislabeling its flood as
+    control (see the module docstring).
     """
 
     rate: float = 20.0
     burst: float = 40.0
-    exempt_control: bool = True
+    control_rate: float = 10.0
+    control_burst: float = 20.0
 
 
 class FairShareAdmission:
@@ -160,6 +170,7 @@ class FairShareAdmission:
     def __init__(self, config: FairShareConfig | None = None) -> None:
         self.config = config if config is not None else FairShareConfig()
         self._buckets: dict[str, TokenBucket] = {}
+        self._control_buckets: dict[str, TokenBucket] = {}
         self.sheds: dict[str, int] = {}
         self.admitted = 0
 
@@ -170,14 +181,30 @@ class FairShareAdmission:
             self._buckets[sender] = bucket
         return bucket
 
+    def control_bucket(self, sender: str) -> TokenBucket:
+        """The separate CONTROL-class bucket for one sender.
+
+        Separate so a sender's own app flood can never starve its
+        genuine acks/rekey legs — but still a bucket, so a flood merely
+        *labeled* control is paced like any other flood.
+        """
+        bucket = self._control_buckets.get(sender)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.config.control_rate, self.config.control_burst
+            )
+            self._control_buckets[sender] = bucket
+        return bucket
+
     def admit(
         self, sender: str, priority: PriorityClass, now: float
     ) -> bool:
         """True when ``sender`` may enqueue one frame at ``now``."""
-        if self.config.exempt_control and priority is PriorityClass.CONTROL:
-            self.admitted += 1
-            return True
-        if self.bucket(sender).allow(now):
+        if priority is PriorityClass.CONTROL:
+            bucket = self.control_bucket(sender)
+        else:
+            bucket = self.bucket(sender)
+        if bucket.allow(now):
             self.admitted += 1
             return True
         self.sheds[sender] = self.sheds.get(sender, 0) + 1

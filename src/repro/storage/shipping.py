@@ -27,7 +27,7 @@ from __future__ import annotations
 from repro.crypto.keys import KeyMaterial
 from repro.crypto.rng import RandomSource
 from repro.exceptions import RecoveryError
-from repro.overload.breaker import BreakerConfig, CircuitBreaker
+from repro.overload.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.storage.journal import Journal
 from repro.storage.recovery import ReplayResult, replay_records
 from repro.telemetry.events import (
@@ -130,11 +130,13 @@ class JournalShipper:
         self.shipped = 0
         #: With a breaker config, each follower link gets its own
         #: circuit breaker: a driver reports shipping failures via
-        #: :meth:`report_failure`; while the breaker is open records
-        #: are *marked missed* (never silently dropped — the follower
-        #: becomes unpromotable) and :meth:`catch_up` is the half-open
-        #: probe that re-bases the replica.  Without one (the default)
-        #: shipping behaves exactly as before.
+        #: :meth:`report_failure`; records ship only while the breaker
+        #: is CLOSED — otherwise they are *marked missed* (never
+        #: silently dropped — the follower becomes unpromotable) and
+        #: :meth:`catch_up` is the *only* half-open probe, because only
+        #: its re-basing snapshot heals the sequence gap the open
+        #: window left.  Without one (the default) shipping behaves
+        #: exactly as before.
         self._breaker_config = breaker_config
         self._breakers: dict[str, CircuitBreaker] = {}
         self._clock = clock
@@ -209,10 +211,24 @@ class JournalShipper:
             # pair).
             self._ship_all(record, seq, kind)
             return
-        now = self._now()
         for follower in self.followers:
             breaker = self.breaker(follower.name)
-            if not breaker.allow(now):
+            # The regular ship path only flows through a CLOSED breaker
+            # — it never calls allow(), so it can neither consume the
+            # half-open probe slot nor promote OPEN to HALF_OPEN once
+            # the cool-down elapses.  catch_up() alone probes a tripped
+            # link, because only a re-basing snapshot can heal the gap
+            # the open window tore: shipping a *delta* to a replica
+            # whose applied head trails its offered head would set the
+            # two equal again and mask the very gap promote() refuses
+            # on, letting a record-dropping standby take over and roll
+            # members back.  The same guard covers a gapped replica
+            # behind a CLOSED breaker (e.g. deltas offered before any
+            # base): deltas stay missed until a snapshot re-bases it.
+            gapped = follower.applied_seq < follower.offered_seq
+            if breaker.state is not BreakerState.CLOSED or (
+                gapped and kind != "snapshot"
+            ):
                 follower.mark_missed(seq)
                 self.skipped[follower.name] = (
                     self.skipped.get(follower.name, 0) + 1

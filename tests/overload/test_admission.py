@@ -101,19 +101,36 @@ class TestFairShareAdmission:
         assert admission.admit("alice", PriorityClass.APP, 0.0)
         assert admission.sheds == {"mallory": 8}
 
-    def test_control_exempt_by_default(self):
+    def test_control_has_its_own_bucket(self):
         admission = FairShareAdmission(FairShareConfig(rate=1.0, burst=1.0))
         assert admission.admit("mallory", PriorityClass.APP, 0.0)
         assert not admission.admit("mallory", PriorityClass.APP, 0.0)
-        # CONTROL sails past the dry bucket.
+        # A dry APP bucket never starves the same sender's genuine
+        # control traffic: CONTROL draws from its own bucket.
         assert admission.admit("mallory", PriorityClass.CONTROL, 0.0)
 
-    def test_control_exemption_can_be_disabled(self):
-        admission = FairShareAdmission(
-            FairShareConfig(rate=1.0, burst=1.0, exempt_control=False)
-        )
+    def test_mislabeled_control_flood_is_paced(self):
+        # The class comes from the plaintext label, so an insider can
+        # stamp its flood CONTROL — it must still hit a ceiling.
+        admission = FairShareAdmission(FairShareConfig(
+            rate=1.0, burst=1.0, control_rate=1.0, control_burst=2.0,
+        ))
+        verdicts = [
+            admission.admit("mallory", PriorityClass.CONTROL, 0.0)
+            for _ in range(10)
+        ]
+        assert verdicts == [True, True] + [False] * 8
+        assert admission.sheds == {"mallory": 8}
+        # ...without touching anyone else's control allowance.
+        assert admission.admit("alice", PriorityClass.CONTROL, 0.0)
+
+    def test_control_flood_leaves_own_app_bucket_intact(self):
+        admission = FairShareAdmission(FairShareConfig(
+            rate=1.0, burst=1.0, control_rate=1.0, control_burst=1.0,
+        ))
         assert admission.admit("m", PriorityClass.CONTROL, 0.0)
         assert not admission.admit("m", PriorityClass.CONTROL, 0.0)
+        assert admission.admit("m", PriorityClass.APP, 0.0)
 
     def test_admitted_counter(self):
         admission = FairShareAdmission(FairShareConfig(rate=1.0, burst=1.0))

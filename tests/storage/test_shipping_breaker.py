@@ -120,6 +120,50 @@ class TestShipperBreaker:
         fx.managers.fail_primary()
         promote(fx.follower, fx.managers, rng=fx.rng.fork("p"))
 
+    def test_post_cooldown_ship_is_not_the_probe(self):
+        """The review scenario: once open_timeout elapses, a *regular*
+        delta ship must not slip through as the half-open probe — it
+        would land on a gapped replica, set applied == offered again,
+        and mask the very gap promote() refuses on."""
+        fx = Fixture()
+        fx.shipper.report_failure("mgr-1")
+        fx.shipper.report_failure("mgr-1")  # threshold=2 -> OPEN
+        fx.mutate()  # missed while OPEN: the gap
+        for _ in range(4):
+            fx.clock.now()  # cool-down (3s) elapses
+        fx.mutate()  # first post-cooldown op is a regular ship
+        assert fx.shipper.breaker("mgr-1").state is BreakerState.OPEN
+        assert fx.follower.applied_seq < fx.follower.offered_seq
+        fx.managers.fail_primary()
+        with pytest.raises(RecoveryError):
+            promote(fx.follower, fx.managers, rng=fx.rng.fork("p"))
+
+    def test_ship_path_never_wedges_the_breaker(self):
+        """Regular ships spend no probe slots, so catch_up's probe is
+        always available after the cool-down — the link can recover."""
+        fx = Fixture()
+        fx.shipper.report_failure("mgr-1")
+        fx.shipper.report_failure("mgr-1")
+        fx.mutate()
+        for _ in range(4):
+            fx.clock.now()
+        fx.mutate()  # skipped; must not consume the half-open probe
+        assert fx.shipper.catch_up(fx.follower, fx.managers.primary)
+        assert fx.shipper.breaker("mgr-1").state is BreakerState.CLOSED
+        assert fx.follower.applied_seq == fx.follower.offered_seq
+
+    def test_delta_never_ships_to_gapped_replica(self):
+        """Even through a CLOSED breaker, a replica whose applied head
+        trails its offered head only accepts a re-basing snapshot."""
+        fx = Fixture()
+        # A record the primary considers offered but the replica lost.
+        fx.follower.mark_missed(fx.journal.seq + 1)
+        fx.mutate()  # cuts the delta at exactly that seq
+        assert fx.follower.applied_seq < fx.follower.offered_seq
+        # The catch-up snapshot (breaker CLOSED: allow() passes) heals.
+        assert fx.shipper.catch_up(fx.follower, fx.managers.primary)
+        assert fx.follower.applied_seq == fx.follower.offered_seq
+
     def test_skip_telemetry(self):
         bus = EventBus()
         seen = []
