@@ -29,14 +29,22 @@ Attacks included (paper section in brackets):
 * :class:`~repro.attacks.quorum_equivocation.QuorumEquivocationAttack`
   [§5.4] — a compromised leader shows each half of the group a
   different "certified" key; certificate gossip detects and convicts.
+* :class:`~repro.attacks.past_member_data.PastMemberDataAttack`
+  [§2.3, data plane] — a leaver's captured channel state against
+  post-leave traffic; blocked only by the ratcheted, epoch-bound data
+  channel (:mod:`repro.dataplane`).
+* :class:`~repro.attacks.data_replay.DataReplayAttack` [§2.3, data
+  plane] — duplicate delivery of an application data frame.
 """
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.admin_replay import AdminReplayAttack
+from repro.attacks.data_replay import DataReplayAttack
 from repro.attacks.forged_close import ForgedCloseAttack
 from repro.attacks.forged_denial import ForgedDenialAttack
 from repro.attacks.forged_removal import ForgedRemovalAttack
 from repro.attacks.impersonation import ImpersonationAttack
+from repro.attacks.past_member_data import PastMemberDataAttack
 from repro.attacks.quorum_equivocation import QuorumEquivocationAttack
 from repro.attacks.quorum_forgery import QuorumForgeryAttack
 from repro.attacks.rekey_replay import RekeyReplayAttack
@@ -55,6 +63,8 @@ __all__ = [
     "StaleSessionKeyAttack",
     "QuorumForgeryAttack",
     "QuorumEquivocationAttack",
+    "PastMemberDataAttack",
+    "DataReplayAttack",
     "ALL_ATTACKS",
     "MatrixRow",
     "run_attack_matrix",

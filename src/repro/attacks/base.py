@@ -110,6 +110,46 @@ def build_itgm(
     return ItgmScenario(net, leader, members, directory)
 
 
+@dataclass
+class DataScenario:
+    """A running §3.2 group whose members carry the data plane."""
+
+    net: SyncNetwork
+    leader: GroupLeader
+    members: dict  # user id -> DataMember
+    directory: UserDirectory
+
+
+def build_data(
+    member_ids: list[str],
+    seed: int = 0,
+    ratcheted: bool = True,
+    reliable: bool = True,
+    rekey_policy: RekeyPolicy = RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE,
+) -> DataScenario:
+    """Start an improved-protocol group with the data plane attached.
+
+    ``ratcheted=False`` swaps every member's channel for the
+    group-key-only :class:`~repro.dataplane.channel.GroupKeyChannel`
+    baseline — the "legacy" column of the data-plane attack rows.  The
+    *management* plane is the §3.2 stack in both configurations; what
+    the baseline lacks is per-sender ratcheting and replay accounting
+    on the data traffic itself.  ``reliable=False`` drops the ACK/NACK
+    layer — attacks probing the channel itself use it so the contrast
+    isn't muddied by the reliability layer's own deduplication.
+    """
+    from repro.dataplane.member import DataMember
+
+    scenario = build_itgm(member_ids, seed=seed, rekey_policy=rekey_policy)
+    members: dict = {}
+    for user_id, member in scenario.members.items():
+        dm = DataMember(member, ratcheted=ratcheted, reliable=reliable)
+        members[user_id] = dm
+        wire(scenario.net, user_id, dm)
+    return DataScenario(scenario.net, scenario.leader, members,
+                        scenario.directory)
+
+
 class Attack(ABC):
     """One named attack, runnable against both protocol stacks."""
 

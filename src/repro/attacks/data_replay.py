@@ -1,0 +1,83 @@
+"""Data-frame replay: duplicate delivery on the data plane.
+
+A network attacker (or a lossy link) re-delivers a recorded data
+frame.  Against a group-key-only channel there is nothing to notice:
+the seal still verifies under the still-current group key, so the
+application sees the payload **twice** — double-applied writes,
+duplicated commands.  The ratcheted channel consumes one chain
+position per frame: the first delivery ratchets the key away, and the
+copy finds a consumed sequence number — shed as a typed ``replay``
+rejection, application state unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult, build_data
+from repro.enclaves.common import RekeyPolicy
+from repro.telemetry.events import DEFAULT_BUS, DataShed
+from repro.wire.labels import Label
+
+_PAYLOAD = b"transfer $100 to carol"
+
+
+class DataReplayAttack(Attack):
+    """Replay a recorded DATA_MSG frame at its original recipient."""
+
+    name = "data-replay"
+    reference = "§2.3 (replay), applied to application traffic"
+    expected_on_legacy = True
+    expected_on_itgm = False
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = seed
+
+    def _run(self, ratcheted: bool) -> tuple[int, int, str]:
+        """Returns (deliveries before replay, after, shed reason)."""
+        # reliable=False: this attack contrasts the *channels* — the
+        # reliability layer's message-id dedup would mask the baseline's
+        # vulnerability, and replay protection must not depend on an
+        # optional layer the application might not run.
+        scenario = build_data(
+            ["alice", "bob"], seed=self.seed,
+            ratcheted=ratcheted, reliable=False,
+            rekey_policy=(RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE
+                          if ratcheted else RekeyPolicy.MANUAL),
+        )
+        net = scenario.net
+        alice, bob = scenario.members["alice"], scenario.members["bob"]
+
+        net.post_all(alice.send_data(_PAYLOAD))
+        net.run()
+        recorded = [
+            e for e in net.wire_log
+            if e.label is Label.DATA_MSG and e.recipient == "bob"
+        ][-1]
+        before = len(bob.inbox)
+
+        with DEFAULT_BUS.capture() as records:
+            net.inject(recorded)   # byte-identical copy, straight at bob
+            net.run()
+        reasons = [r.event.reason for r in records
+                   if isinstance(r.event, DataShed) and r.event.node == "bob"]
+        return before, len(bob.inbox), reasons[0] if reasons else ""
+
+    def run_legacy(self) -> AttackResult:
+        before, after, _ = self._run(ratcheted=False)
+        succeeded = after == before + 1 and before >= 1
+        return AttackResult(
+            self.name, "legacy", succeeded,
+            f"bob's application saw the payload {after} times "
+            "(group-key seal has no replay accounting)" if succeeded
+            else "baseline unexpectedly deduplicated the replay",
+        )
+
+    def run_itgm(self) -> AttackResult:
+        before, after, reason = self._run(ratcheted=True)
+        succeeded = after != before
+        return AttackResult(
+            self.name, "itgm", succeeded,
+            f"replay delivered ({after} vs {before})" if succeeded
+            else "replayed frame shed as typed "
+                 f"{reason or 'replay'} rejection; deliveries unchanged "
+                 f"at {before}",
+        )

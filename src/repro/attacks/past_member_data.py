@@ -1,0 +1,173 @@
+"""Past-member data access: the §2.3 attack family, on the data plane.
+
+The paper's §2.3 attacks show a past member reusing an old *group key*
+against the management plane.  The data-plane variant is simpler and,
+against a group-key-only channel, devastating: a member who leaves
+keeps the group key it was legitimately given, and until the key
+rotates, every data frame on the wire is an open book — no replay, no
+forgery, just reading.
+
+Scenario (both stacks): mallory joins, captures **everything** her
+endpoint holds — the group key *and* her entire data-channel state
+(sender chain, receiver chains, banked skip keys) — then leaves.
+Alice keeps talking.  Mallory points her captured channel at the
+post-leave wire.
+
+* **Baseline** (``GroupKeyChannel``, manual rekey — exactly what
+  sealing app traffic directly under the group key gives you): the
+  leave does not change the key, so mallory reads alice's post-leave
+  traffic verbatim.
+* **Ratcheted** (``DataChannel`` + rekey-on-leave): the leave commits
+  a new epoch, every chain re-seeds from a group key mallory never
+  saw.  Her captured chain state and her captured group key both open
+  nothing — every attempt dies as a typed ``epoch`` / ``integrity``
+  rejection, zero plaintext recovered.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult, build_data
+from repro.dataplane.channel import DataChannel, GroupKeyChannel
+from repro.enclaves.common import RekeyPolicy
+from repro.exceptions import (
+    EpochMismatchError,
+    IntegrityError,
+    RatchetError,
+)
+from repro.wire.labels import Label
+
+_SECRET = b"quarterly numbers: 42"
+
+
+class PastMemberDataAttack(Attack):
+    """A leaver replays captured channel state against live traffic."""
+
+    name = "past-member-data"
+    reference = "§2.3 extended to the data plane (PAPERS.md: Xu, group " \
+                "key management alone gives no forward secrecy)"
+    expected_on_legacy = True
+    expected_on_itgm = False
+
+    def __init__(self, seed: int = 5) -> None:
+        self.seed = seed
+
+    # -- baseline: group-key-only channel --------------------------------------
+
+    def run_legacy(self) -> AttackResult:
+        # reliable=False: a passive read off the wire — the ACK/NACK
+        # layer is irrelevant, and its message-id framing would wrap
+        # the plaintext this attack checks for verbatim.
+        scenario = build_data(
+            ["alice", "bob", "mallory"], seed=self.seed,
+            ratcheted=False, reliable=False,
+            rekey_policy=RekeyPolicy.MANUAL,
+        )
+        net = scenario.net
+        alice = scenario.members["alice"]
+        mallory = scenario.members["mallory"]
+
+        # Mallory's capture: the group key her membership granted her.
+        captured_key = mallory.member.group_key
+        captured_epoch = mallory.member.group_epoch
+        assert captured_key is not None
+
+        mark = len(net.wire_log)
+        net.post(mallory.member.start_leave())
+        net.run()
+
+        # Alice speaks *after* mallory has left the group.
+        net.post_all(alice.send_data(_SECRET))
+        net.run()
+
+        leaked = _read_off_wire(
+            net.wire_log[mark:],
+            GroupKeyChannel("mallory-offline"),
+            captured_key, captured_epoch,
+        )
+        succeeded = _SECRET in leaked
+        return AttackResult(
+            self.name, "legacy", succeeded,
+            f"ex-member read {leaked[0]!r} off the wire with the group key "
+            "she left with (no rekey-on-leave, no ratchet)" if succeeded
+            else "baseline unexpectedly protected post-leave traffic",
+        )
+
+    # -- ratcheted channel ------------------------------------------------------
+
+    def run_itgm(self) -> AttackResult:
+        scenario = build_data(
+            ["alice", "bob", "mallory"], seed=self.seed,
+            ratcheted=True, reliable=False,
+            rekey_policy=RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE,
+        )
+        net = scenario.net
+        alice = scenario.members["alice"]
+        mallory = scenario.members["mallory"]
+
+        # Warm the chains so mallory's capture includes live receiver
+        # state (the strongest capture: keys, chains, skip stores).
+        net.post_all(alice.send_data(b"pre-leave chatter"))
+        net.run()
+
+        captured_channel = mallory.channel          # the live object itself
+        captured_key = mallory.member.group_key
+        assert captured_key is not None
+
+        mark = len(net.wire_log)
+        pre_leave_epoch = alice.member.group_epoch
+        net.post(mallory.member.start_leave())
+        net.run()
+        assert alice.member.group_epoch > pre_leave_epoch, \
+            "rekey-on-leave must bump the epoch"
+
+        net.post_all(alice.send_data(_SECRET))
+        net.run()
+        post_leave = [
+            e for e in net.wire_log[mark:]
+            if e.label is Label.DATA_MSG and e.sender == "alice"
+        ]
+        assert post_leave, "alice's post-leave traffic must be on the wire"
+
+        leaked: list[bytes] = []
+        rejections: dict[str, int] = {"epoch": 0, "integrity": 0, "other": 0}
+        for frame in post_leave:
+            # Attempt 1: the captured channel, exactly as it was.
+            try:
+                leaked.append(captured_channel.open(frame)[2])
+            except EpochMismatchError:
+                rejections["epoch"] += 1
+            except (RatchetError, IntegrityError):
+                rejections["other"] += 1
+            # Attempt 2: re-seed chains from the captured *key* at the
+            # frame's (new) epoch — the best a key-holding leaver can do.
+            forged = DataChannel("mallory-forged")
+            forged.rebind(captured_key, alice.member.group_epoch)
+            try:
+                leaked.append(forged.open(frame)[2])
+            except IntegrityError:
+                rejections["integrity"] += 1
+            except (RatchetError, IntegrityError):
+                rejections["other"] += 1
+        succeeded = bool(leaked)
+        return AttackResult(
+            self.name, "itgm", succeeded,
+            f"captured state decrypted {len(leaked)} post-leave frame(s)"
+            if succeeded else
+            "zero post-leave plaintext: captured chain state shed as "
+            f"epoch-mismatch ×{rejections['epoch']}, re-seeded old key "
+            f"failed authentication ×{rejections['integrity']}",
+        )
+
+
+def _read_off_wire(frames, channel, key, epoch) -> list[bytes]:
+    """Decrypt whatever the captured key opens among recorded frames."""
+    channel.rebind(key, epoch)
+    leaked = []
+    for frame in frames:
+        if frame.label is not Label.DATA_MSG:
+            continue
+        try:
+            leaked.append(channel.open(frame)[2])
+        except Exception:
+            continue
+    return leaked

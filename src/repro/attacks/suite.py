@@ -12,10 +12,12 @@ from dataclasses import dataclass
 
 from repro.attacks.admin_replay import AdminReplayAttack
 from repro.attacks.base import Attack, AttackResult
+from repro.attacks.data_replay import DataReplayAttack
 from repro.attacks.forged_close import ForgedCloseAttack
 from repro.attacks.forged_denial import ForgedDenialAttack
 from repro.attacks.forged_removal import ForgedRemovalAttack
 from repro.attacks.impersonation import ImpersonationAttack
+from repro.attacks.past_member_data import PastMemberDataAttack
 from repro.attacks.quorum_equivocation import QuorumEquivocationAttack
 from repro.attacks.quorum_forgery import QuorumForgeryAttack
 from repro.attacks.rekey_replay import RekeyReplayAttack
@@ -25,6 +27,10 @@ from repro.attacks.stale_key import StaleSessionKeyAttack
 #: *Byzantine leader* (§6/§7's trusted party turning hostile): their
 #: "legacy" column is the single-trusted-leader deployment and their
 #: "improved" column is the quorum-hardened stack of :mod:`repro.quorum`.
+#: The two data-plane rows follow the same convention: their "legacy"
+#: column is the group-key-only data channel (what sealing app traffic
+#: directly under K_g gives you) and their "improved" column is the
+#: ratcheted channel of :mod:`repro.dataplane`.
 ALL_ATTACKS: list[type[Attack]] = [
     ForgedDenialAttack,
     ForgedRemovalAttack,
@@ -35,6 +41,8 @@ ALL_ATTACKS: list[type[Attack]] = [
     StaleSessionKeyAttack,
     QuorumForgeryAttack,
     QuorumEquivocationAttack,
+    PastMemberDataAttack,
+    DataReplayAttack,
 ]
 
 

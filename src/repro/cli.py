@@ -36,6 +36,13 @@ Commands
     with optional deterministic JSONL export; exits nonzero whenever
     the quorum stack violates an invariant or misses a detection — or
     the single-leader baseline fails to fail.
+``data``
+    Drive the end-to-end data plane: a scripted tour (ratcheted
+    delivery, loss recovery through the skip store and NACK
+    retransmit, rekey-on-leave locking a leaver out), the data-plane
+    attack rows on their own, or the seeded mixed management+data
+    chaos soak with optional deterministic JSONL export; exits
+    nonzero on any violated invariant or post-leave decrypt.
 ``obs``
     The observability toolkit over a seeded quorum-on-fabric scenario:
     ``trace`` reconstructs and renders the causal DAG of a join
@@ -715,6 +722,150 @@ def _quorum_attack(seed: int) -> int:
     return 1
 
 
+def _cmd_data(args: argparse.Namespace) -> int:
+    if args.mode == "demo":
+        with _capture_default_bus(args.telemetry):
+            status = _data_demo(args.seed)
+        return status
+    if args.mode == "attack":
+        with _capture_default_bus(args.telemetry):
+            status = _data_attack(args.seed)
+        return status
+
+    # soak: the seeded mixed management+data chaos run.  The soak's
+    # stacks emit to the process-wide default bus, so the JSONL export
+    # wraps the run the same way demo/attack do.
+    from repro.dataplane.soak import DataSoakConfig, run_data_soak
+
+    with _capture_default_bus(args.out):
+        report = run_data_soak(DataSoakConfig(
+            seed=args.seed, n_members=args.members, rounds=args.rounds,
+        ))
+        print(report.format_table())
+    return 0 if report.safe else 1
+
+
+def _data_demo(seed: int) -> int:
+    """Scripted tour: ratcheted delivery, loss recovery, rekey-on-leave."""
+    from repro.attacks.base import build_data
+    from repro.exceptions import EpochMismatchError, RatchetError
+    from repro.exceptions import IntegrityError as _IntegrityError
+    from repro.wire.labels import Label
+
+    scenario = build_data(["alice", "bob", "carol"], seed=seed)
+    net = scenario.net
+    alice = scenario.members["alice"]
+    bob = scenario.members["bob"]
+    carol = scenario.members["carol"]
+    print(f"data-plane demo — 3 members, seed={seed}")
+    print(f"  group joined       : {scenario.leader.members} "
+          f"(epoch {alice.member.group_epoch})")
+
+    net.post_all(alice.send_data(b"dataplane hello"))
+    net.run()
+    print(f"  first payload      : delivered to bob+carol at chain "
+          f"seq {bob.inbox[-1][1]} (per-sender ratchet, one key per frame)")
+
+    # Lose bob's copy of the next frame; the one after arrives out of
+    # order, bob banks the skipped key, NACKs the gap, and alice's
+    # cached envelope fills it — end-to-end, without leader help.
+    dropped: list = []
+
+    def drop_once(envelope):
+        if (envelope.label is Label.DATA_MSG
+                and envelope.recipient == "bob" and not dropped):
+            dropped.append(envelope)
+            return []
+        return None
+
+    net.set_interceptor(drop_once)
+    net.post_all(alice.send_data(b"lost on the wire"))
+    net.run()
+    net.set_interceptor(None)
+    net.post_all(alice.send_data(b"arrives first"))
+    net.run()
+    stats = bob.channel.skip_stats()
+    pre_leave_inbox = list(bob.inbox)
+    recovered = [p for (_s, _q, p) in pre_leave_inbox]
+    print(f"  loss recovery      : bob banked {stats['skips_banked']} "
+          f"skipped key(s), NACK retransmit filled the gap "
+          f"(skip hits: {stats['skip_hits']})")
+    print(f"  bob's inbox        : {len(recovered)} payloads, "
+          f"duplicates suppressed: "
+          f"{bob.receiver.duplicates_suppressed}")
+
+    # Carol leaves; rekey-on-leave bumps the epoch; her captured
+    # channel opens nothing sealed afterwards.
+    captured = carol.channel
+    pre_epoch = alice.member.group_epoch
+    net.post(carol.member.start_leave())
+    net.run()
+    mark = len(net.wire_log)
+    net.post_all(alice.send_data(b"post-leave secret"))
+    net.run()
+    print(f"  rekey-on-leave     : carol left, epoch "
+          f"{pre_epoch} -> {alice.member.group_epoch}, every chain "
+          "re-seeded")
+    leaked = 0
+    rejections = 0
+    for frame in net.wire_log[mark:]:
+        if frame.label is not Label.DATA_MSG:
+            continue
+        try:
+            captured.open(frame)
+            leaked += 1
+        except (RatchetError, _IntegrityError, EpochMismatchError):
+            rejections += 1
+    print(f"  leaver's channel   : {leaked} post-leave decrypts, "
+          f"{rejections} typed rejections")
+    # Arrival order interleaves the retransmit; chain order (by seq)
+    # must reconstruct alice's send order exactly.
+    by_seq = [p for (_s, _q, p)
+              in sorted(pre_leave_inbox, key=lambda t: t[1])]
+    ok = (
+        len(recovered) == 3
+        and by_seq == [b"dataplane hello", b"lost on the wire",
+                       b"arrives first"]
+        and stats["skip_hits"] >= 1
+        and leaked == 0
+        and rejections >= 1
+    )
+    print("  verdict            : "
+          + ("OK — delivered in order, loss recovered, leaver locked out"
+             if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def _data_attack(seed: int) -> int:
+    """The data-plane rows of the attack matrix, on their own."""
+    from repro.attacks import DataReplayAttack, PastMemberDataAttack
+    from repro.attacks.suite import MatrixRow, format_matrix
+
+    rows = []
+    for attack_cls in (PastMemberDataAttack, DataReplayAttack):
+        attack = attack_cls(seed=seed + 11)
+        legacy_result, itgm_result = attack.run_both()
+        rows.append(MatrixRow(
+            attack=attack.name,
+            reference=attack.reference,
+            legacy=legacy_result,
+            itgm=itgm_result,
+            expected_legacy=attack.expected_on_legacy,
+            expected_itgm=attack.expected_on_itgm,
+        ))
+    print("data-plane attacks — 'legacy' is the group-key-only data "
+          "channel,\n'improved' the ratcheted channel with "
+          "rekey-on-leave:\n")
+    print(format_matrix(rows))
+    for row in rows:
+        print(f"\n{row.attack}: {row.itgm.detail}")
+    if all(row.as_expected for row in rows):
+        print("\nboth attacks read the baseline and die on the ratchet")
+        return 0
+    print("\ndeviation from the data-plane claim!")
+    return 1
+
+
 def _obs_scenario(seed: int, bus, profiler=None):
     """One seeded quorum-on-fabric group: the obs commands' workload.
 
@@ -1129,6 +1280,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export the demo/attack event stream as "
                              "deterministic JSONL (demo/attack modes)")
     quorum.set_defaults(func=_cmd_quorum)
+
+    data = sub.add_parser(
+        "data",
+        help="drive the end-to-end data plane (demo / attack / soak)",
+    )
+    data.add_argument("mode", choices=("demo", "attack", "soak"),
+                      help="scripted ratchet-and-recovery tour, "
+                           "data-plane attack rows, or the seeded mixed "
+                           "management+data chaos soak")
+    data.add_argument("--seed", type=int, default=7)
+    data.add_argument("--members", type=int, default=4,
+                      help="members in the soak")
+    data.add_argument("--rounds", type=int, default=40,
+                      help="faulted rounds in the soak (a fault-free "
+                           "drain tail follows)")
+    data.add_argument("--telemetry", metavar="PATH",
+                      help="export the demo/attack event stream as "
+                           "deterministic JSONL (demo/attack modes)")
+    data.add_argument("--out", metavar="PATH",
+                      help="export the soak's event stream as "
+                           "deterministic JSONL (soak mode only)")
+    data.set_defaults(func=_cmd_data)
 
     obs = sub.add_parser(
         "obs",

@@ -77,6 +77,22 @@ class AuthenticatedCipher:
         tag = self._compute_tag(nonce, ciphertext, associated_data)
         return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
 
+    def seal_with_nonce(
+        self, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
+    ) -> SealedBox:
+        """Encrypt and authenticate under a caller-supplied CTR nonce.
+
+        Only safe when the key is used for exactly one message — the
+        data-plane ratchet derives a fresh message key per sequence
+        number and uses the (big-endian) sequence number as the nonce,
+        making the whole frame deterministic and replay-evident.
+        """
+        if len(nonce) != CTR_NONCE_LEN:
+            raise CodecError(f"CTR nonce must be {CTR_NONCE_LEN} bytes")
+        ciphertext = ctr_transform(self._aes, nonce, plaintext)
+        tag = self._compute_tag(nonce, ciphertext, associated_data)
+        return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
     def open(self, box: SealedBox, associated_data: bytes = b"") -> bytes:
         """Verify and decrypt, raising :class:`IntegrityError` on forgery."""
         expected = self._compute_tag(box.nonce, box.ciphertext, associated_data)

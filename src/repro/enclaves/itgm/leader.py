@@ -229,6 +229,8 @@ class GroupLeader:
             return [], [Rejected("not addressed to leader", envelope.label)]
         if envelope.label is Label.APP_DATA:
             return self._relay_app(envelope)
+        if envelope.label.is_data:
+            return self._relay_data(envelope)
 
         user_id = envelope.sender
         if envelope.label is Label.AUTH_INIT_REQ:
@@ -521,6 +523,52 @@ class GroupLeader:
             prof.end(tok)
         self.stats.relayed_frames += len(out)
         return out, []
+
+    # -- data-plane relay (leader-oblivious) --------------------------------------
+
+    def _relay_data(self, envelope: Envelope) -> tuple[list[Envelope], list[Event]]:
+        """Relay a ratcheted data-plane frame *without opening it*.
+
+        The whole point of the end-to-end data plane is that the relay
+        never holds a message key — so unlike :meth:`_relay_app`, no
+        group-key check happens here.  The leader still enforces
+        membership: only current members may inject or receive data
+        traffic, which is what turns an expulsion into an immediate
+        traffic cutoff on top of the cryptographic rekey.
+
+        ``DATA_MSG`` fans out to every member except the sender;
+        ``DATA_ACK``/``DATA_NACK`` unicast back to the origin sender
+        named (in the clear, as routing metadata) in the body.
+        """
+        sender = envelope.sender
+        session = self._sessions.get(sender)
+        if session is None or not session.is_member:
+            self.stats.rejected += 1
+            return [], [Rejected("data frame from non-member", envelope.label)]
+        if envelope.label is Label.DATA_MSG:
+            out = [
+                Envelope(Label.DATA_MSG, sender, other, envelope.body)
+                for other in self.members
+                if other != sender
+            ]
+            self.stats.relayed_frames += len(out)
+            return out, []
+        # ACK/NACK: route to the origin member named in the body.
+        try:
+            from repro.dataplane.reliable import decode_control_routing
+
+            origin, _acker, _box = decode_control_routing(envelope.body)
+        except CodecError:
+            self.stats.rejected += 1
+            return [], [Rejected("malformed data control frame",
+                                 envelope.label)]
+        target = self._sessions.get(origin)
+        if target is None or not target.is_member:
+            self.stats.rejected += 1
+            return [], [Rejected("data control for non-member",
+                                 envelope.label)]
+        self.stats.relayed_frames += 1
+        return [Envelope(envelope.label, sender, origin, envelope.body)], []
 
     # -- introspection for the formal-vs-concrete cross-checks -------------------
 

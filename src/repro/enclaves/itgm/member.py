@@ -503,6 +503,15 @@ class MemberProtocol:
         return self._group_cipher is not None
 
     @property
+    def group_key(self) -> GroupKey | None:
+        """The currently installed group key (None before first rekey).
+
+        The data plane (:mod:`repro.dataplane`) seeds its per-sender
+        chains from this key, so every epoch bump re-seeds every chain.
+        """
+        return self._group_key
+
+    @property
     def group_key_fingerprint(self) -> str | None:
         """Fingerprint of the currently held group key (None if none)."""
         if self._group_key is None:

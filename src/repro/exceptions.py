@@ -101,6 +101,43 @@ class QuorumError(ProtocolError):
     discarded, loudly."""
 
 
+class RatchetError(ProtocolError):
+    """Base class for data-plane ratchet failures (:mod:`repro.dataplane`).
+
+    Like :class:`ProtocolViolation`, honest endpoints *discard* the
+    offending frame rather than crash; the subclasses exist so the
+    channel can emit the precise typed telemetry event for each fate.
+    """
+
+
+class SkipWindowExceeded(RatchetError):
+    """A frame's sequence number is too far ahead of the receive chain.
+
+    Advancing would require ratcheting past the bounded skip-window —
+    either the link lost more than the window tolerates or an attacker
+    is trying to make the receiver burn unbounded chain state.  Loud by
+    design: the frame is shed and counted, never silently absorbed.
+    """
+
+
+class RatchetReplayError(RatchetError):
+    """A frame re-used a sequence number whose key is already consumed.
+
+    Each chain position decrypts exactly once; a duplicate (replayed or
+    loss-duplicated) frame finds neither a stored skipped key nor an
+    unconsumed chain position.
+    """
+
+
+class EpochMismatchError(RatchetError):
+    """A data frame is bound to a group epoch the channel has left.
+
+    Every membership rekey re-seeds all sender chains; frames sealed
+    under a previous epoch's chains are dead on arrival — that is the
+    rekey-on-leave guarantee, not an error to paper over.
+    """
+
+
 class StorageError(ReproError):
     """Base class for failures in the durability layer (:mod:`repro.storage`)."""
 

@@ -62,6 +62,14 @@ _JOIN_LABELS = frozenset({
     Label.LEGACY_AUTH_2, Label.LEGACY_AUTH_3,
 })
 
+#: Data-plane flow control (cumulative acks, gap reports).  Small,
+#: rare, and loss converts directly into retransmit traffic — so they
+#: sit at heartbeat tier: above joins and bulk data, below the admin
+#: channel.  Bulk ``DATA_MSG`` frames are deliberately *not* here: a
+#: data flood must land in the APP class where fair-share pacing and
+#: brownout shedding can starve the flooder, never the joins.
+_DATA_CONTROL_LABELS = frozenset({Label.DATA_ACK, Label.DATA_NACK})
+
 
 def classify_frame(
     envelope: Envelope, *, heartbeat_sender: str | None = None
@@ -88,6 +96,8 @@ def classify_frame(
         return classify_frame(inner, heartbeat_sender=heartbeat_sender)
     if label in _CONTROL_LABELS:
         return PriorityClass.CONTROL
+    if label in _DATA_CONTROL_LABELS:
+        return PriorityClass.HEARTBEAT
     if label in _JOIN_LABELS:
         return PriorityClass.JOIN
     if (heartbeat_sender is not None

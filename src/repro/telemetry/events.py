@@ -794,6 +794,74 @@ class DeadlineExceeded(TelemetryEvent):
     elapsed: float
 
 
+# data plane (sender-key ratchets / reliable multicast) ----------------------
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class DataDelivered(TelemetryEvent):
+    """An endpoint opened one ratcheted data frame and released its
+    plaintext to the application.
+
+    ``chain_seq`` is the position on the sender's chain (named apart
+    from the record-level bus ``seq``); the message key for that
+    position is consumed (and for in-order delivery, ratcheted away)
+    the moment this event fires — a second frame for the same
+    ``(sender, epoch, chain_seq)`` lands in :class:`DataShed`."""
+
+    node: str
+    sender: str
+    epoch: int
+    chain_seq: int
+    caused_by: str = ""
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class DataShed(TelemetryEvent):
+    """A data frame was discarded by the ratcheted channel.
+
+    ``reason`` is one of ``replay`` (consumed seq), ``window`` (past the
+    skip-window), ``epoch`` (sealed under a chain the channel has
+    re-seeded away), or ``integrity`` (MAC/codec failure).  The typed
+    record is what the data-plane attacks assert on: a past member's
+    replayed chain state must land here, not in silence."""
+
+    node: str
+    sender: str
+    epoch: int
+    chain_seq: int
+    reason: str
+    frame: str = ""
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RatchetSkipStored(TelemetryEvent):
+    """Out-of-order delivery: the receive chain ratcheted past
+    ``chain_seq`` and banked its message key for the late frame
+    (``stored`` keys now held for this sender's chain)."""
+
+    node: str
+    sender: str
+    chain_seq: int
+    stored: int
+
+
+@register_event
+@dataclass(frozen=True, slots=True)
+class RatchetWindowExceeded(TelemetryEvent):
+    """A frame's chain seq would require ratcheting past the bounded
+    skip-window — shed loudly instead of burning unbounded chain
+    state."""
+
+    node: str
+    sender: str
+    chain_seq: int
+    window: int
+    frame: str = ""
+
+
 # observability ---------------------------------------------------------------
 
 

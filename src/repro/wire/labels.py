@@ -41,6 +41,18 @@ class Label(enum.IntEnum):
     # -- application data (relayed through the leader, both stacks) ----
     APP_DATA = 0x20
 
+    # -- end-to-end data plane (sender-key ratchets, reliable multicast)
+    #: One ratcheted application frame: per-sender chain-derived message
+    #: key, seq-prefixed nonce.  The leader relays it *without* opening
+    #: it — only endpoints hold (and immediately ratchet away) the
+    #: message key.
+    DATA_MSG = 0x40
+    #: Cumulative delivery acknowledgement for one sender's chain.
+    DATA_ACK = 0x41
+    #: Explicit gap report: the named sequence numbers were skipped over
+    #: and should be retransmitted.
+    DATA_NACK = 0x42
+
     # -- fabric envelope scoping (multi-group shard hosting) -----------
     #: A group-scoped wrapper: the body carries ``(group id, inner
     #: envelope)`` so one shard endpoint can demultiplex frames for the
@@ -64,3 +76,8 @@ class Label(enum.IntEnum):
     def is_fabric(self) -> bool:
         """Group-scoped fabric framing (shard demux + redirects)."""
         return 0x30 <= self.value <= 0x31
+
+    @property
+    def is_data(self) -> bool:
+        """End-to-end data-plane traffic (ratcheted frames + acks)."""
+        return 0x40 <= self.value <= 0x42

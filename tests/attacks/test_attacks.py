@@ -10,10 +10,12 @@ import pytest
 from repro.attacks import (
     ALL_ATTACKS,
     AdminReplayAttack,
+    DataReplayAttack,
     ForgedCloseAttack,
     ForgedDenialAttack,
     ForgedRemovalAttack,
     ImpersonationAttack,
+    PastMemberDataAttack,
     QuorumEquivocationAttack,
     QuorumForgeryAttack,
     RekeyReplayAttack,
@@ -106,6 +108,37 @@ class TestByzantineAttacks:
         assert not result.succeeded, result.detail
 
 
+class TestDataPlaneAttacks:
+    """The data-plane rows: group-key-only channel vs the ratchet.
+
+    Their "legacy" column is the group-key-only data channel (what
+    sealing app traffic directly under K_g gives you); "improved" is
+    the ratcheted, epoch-bound channel of :mod:`repro.dataplane`."""
+
+    def test_past_member_reads_baseline_traffic(self):
+        result = PastMemberDataAttack().run_legacy()
+        assert result.succeeded, result.detail
+        assert "read" in result.detail
+
+    def test_past_member_blocked_by_ratchet(self):
+        """Both of the leaver's moves die typed: captured chain state
+        (epoch mismatch) and the re-seeded old key (MAC failure)."""
+        result = PastMemberDataAttack().run_itgm()
+        assert not result.succeeded, result.detail
+        assert "zero post-leave plaintext" in result.detail
+        assert "epoch-mismatch" in result.detail
+
+    def test_replay_delivers_twice_on_baseline(self):
+        result = DataReplayAttack().run_legacy()
+        assert result.succeeded, result.detail
+        assert "2 times" in result.detail
+
+    def test_replay_shed_typed_by_ratchet(self):
+        result = DataReplayAttack().run_itgm()
+        assert not result.succeeded, result.detail
+        assert "replay" in result.detail
+
+
 class TestMatrix:
     def test_every_row_as_predicted(self):
         rows = run_attack_matrix()
@@ -116,7 +149,7 @@ class TestMatrix:
 
     def test_matrix_covers_all_attacks(self):
         rows = run_attack_matrix()
-        assert len(rows) == len(ALL_ATTACKS) == 9
+        assert len(rows) == len(ALL_ATTACKS) == 11
 
     def test_improved_blocks_everything(self):
         rows = run_attack_matrix()

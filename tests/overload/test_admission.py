@@ -58,6 +58,22 @@ class TestClassifyFrame:
         bogus = Envelope(Label.GROUP_WRAP, "x", "y", b"\x00garbage")
         assert classify_frame(bogus) is PriorityClass.APP
 
+    def test_data_msg_is_app(self):
+        """Bulk data shares the APP class — a flood of it must be
+        starvable by fair-share pacing, never outrank joins."""
+        assert classify_frame(frame(Label.DATA_MSG)) is PriorityClass.APP
+
+    def test_data_flow_control_is_heartbeat_tier(self):
+        for label in (Label.DATA_ACK, Label.DATA_NACK):
+            assert (classify_frame(frame(label))
+                    is PriorityClass.HEARTBEAT)
+
+    def test_data_labels_through_group_wrap(self):
+        wrapped_data = wrap_group("g1", frame(Label.DATA_MSG), "shard-0")
+        assert classify_frame(wrapped_data) is PriorityClass.APP
+        wrapped_ack = wrap_group("g1", frame(Label.DATA_ACK), "shard-0")
+        assert classify_frame(wrapped_ack) is PriorityClass.HEARTBEAT
+
     def test_priority_ordering(self):
         assert (PriorityClass.CONTROL < PriorityClass.HEARTBEAT
                 < PriorityClass.JOIN < PriorityClass.APP)

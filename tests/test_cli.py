@@ -212,6 +212,42 @@ class TestParser:
         assert "fabric" in err
 
 
+class TestDataCommand:
+    def test_demo_recovers_and_locks_out_leaver(self, capsys):
+        code = main(["data", "demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loss recovery" in out
+        assert "0 post-leave decrypts" in out
+        assert "OK" in out
+
+    def test_attack_rows_decisive(self, capsys):
+        code = main(["data", "attack"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "past-member-data" in out
+        assert "data-replay" in out
+        assert "die on the ratchet" in out
+
+    def test_soak_safe_with_export(self, tmp_path, capsys):
+        out_path = tmp_path / "data.jsonl"
+        code = main(["data", "soak", "--seed", "3", "--rounds", "20",
+                     "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SAFE" in out
+        assert "schema-valid" in out
+        assert out_path.read_text().strip()
+
+    def test_soak_export_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["data", "soak", "--seed", "5", "--rounds", "16",
+                         "--out", str(path)]) == 0
+            capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
 class TestOverloadCommand:
     def test_soak_protection_holds(self, capsys):
         code = main(["overload", "soak", "--duration", "4",

@@ -33,6 +33,19 @@ class TestLabel:
     def test_one_byte_values(self):
         assert all(0 <= label.value <= 255 for label in Label)
 
+    def test_data_labels(self):
+        for label in (Label.DATA_MSG, Label.DATA_ACK, Label.DATA_NACK):
+            assert label.is_data
+            assert not label.is_itgm
+            assert not label.is_legacy
+
+    def test_is_data_exhaustive(self):
+        """``is_data`` is exactly the 0x40 block — no more, no less."""
+        data_labels = {label for label in Label if label.is_data}
+        assert data_labels == {Label.DATA_MSG, Label.DATA_ACK,
+                               Label.DATA_NACK}
+        assert all(0x40 <= label.value <= 0x4F for label in data_labels)
+
 
 class TestEnvelope:
     def test_roundtrip(self):
@@ -84,3 +97,8 @@ class TestEnvelope:
         env = Envelope(Label.ACK, "a", "l", b"")
         with pytest.raises(AttributeError):
             env.sender = "mallory"  # type: ignore[misc]
+
+    def test_data_label_roundtrip(self):
+        for label in (Label.DATA_MSG, Label.DATA_ACK, Label.DATA_NACK):
+            env = Envelope(label, "alice", "leader", b"\x40payload")
+            assert Envelope.from_bytes(env.to_bytes()) == env
