@@ -1,0 +1,219 @@
+"""CRYPTO: pluggable-backend benchmark gate (BENCH_crypto.json).
+
+Two promises from PR 10, measured and enforced:
+
+* The ``fast`` backend is *worth having*: bulk frame sealing at least
+  ``MIN_SPEEDUP``x the from-scratch reference (gated only when the
+  ``cryptography`` AES is importable — on a bare interpreter the fast
+  backend still accelerates hashing but cannot hit 10x on AEAD, so the
+  ratio is recorded and the assertion skips gracefully).
+* The provider seam is *free*: routing the reference backend through
+  the provider indirection costs at most ``MAX_INDIRECTION`` over
+  calling the pure primitives directly (the seed code path).
+
+Alongside the gates, the artifact records per-backend handshake and
+rekey throughput so protocol-level numbers can be normalized by crypto
+cost across revisions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import time
+
+import pytest
+
+from conftest import build_itgm_group, write_bench_record
+from repro.crypto.aes import AES
+from repro.crypto.mac import HMACSHA256
+from repro.crypto.modes import ctr_transform
+from repro.crypto.provider import available_backends, get_provider, using_provider
+from repro.crypto.rng import DeterministicRandom
+
+REPEATS = 5
+BULK_FRAMES = 120
+PAYLOAD_LEN = 256
+JOIN_MEMBERS = 4
+REKEYS = 3
+#: fast backend must seal bulk frames at least this many times faster.
+MIN_SPEEDUP = 10.0
+#: provider indirection on the reference backend must cost at most this.
+MAX_INDIRECTION = 1.02
+
+BACKENDS = sorted(available_backends())
+
+
+@contextlib.contextmanager
+def _gc_pinned():
+    """Collector parked during a timed region (a cycle collection in
+    one arm but not the other would dwarf a sub-2% effect)."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _interleaved_best(entries, measure) -> dict[str, float]:
+    """Best-of-REPEATS per entry, arms interleaved and alternating order
+    each repeat so clock drift and frequency scaling hit both equally."""
+    best = {entry: float("inf") for entry in entries}
+    for attempt in range(REPEATS):
+        order = list(entries) if attempt % 2 == 0 else list(entries)[::-1]
+        for entry in order:
+            best[entry] = min(best[entry], measure(entry, attempt))
+    return best
+
+
+def _bulk_jobs(attempt: int):
+    rng = DeterministicRandom(1000 + attempt)
+    enc_key, mac_key = rng.random_bytes(16), rng.random_bytes(32)
+    jobs = [(rng.random_bytes(8), rng.random_bytes(PAYLOAD_LEN), b"bench")
+            for _ in range(BULK_FRAMES)]
+    return enc_key, mac_key, jobs
+
+
+def _bulk_seal_once(backend: str, attempt: int) -> float:
+    """Seconds to seal_many + open_many one bulk flush."""
+    enc_key, mac_key, jobs = _bulk_jobs(attempt)
+    with using_provider(backend) as provider:
+        provider.seal_many(enc_key, mac_key, jobs[:2])  # warm key cache
+        with _gc_pinned():
+            start = time.perf_counter()
+            sealed = provider.seal_many(enc_key, mac_key, jobs)
+            opened = provider.open_many(enc_key, mac_key, [
+                (nonce, ct, tag, ad)
+                for (nonce, _, ad), (ct, tag) in zip(jobs, sealed)
+            ])
+            elapsed = time.perf_counter() - start
+    assert all(got == job[1] for got, job in zip(opened, jobs))
+    return elapsed
+
+
+def _indirection_best() -> dict[str, float]:
+    """Reference sealing, ``routed`` through the provider seam vs the
+    pure primitives called ``direct`` (the seed's inline code path).
+
+    A sub-2% effect on ~1.5 ms frames cannot be read off two long
+    timed windows — CPU frequency drift across a window swamps it.
+    Each frame is instead sealed by *both* arms back to back (order
+    alternating), per-arm times accumulated separately, so drift lands
+    on both arms equally; best-of-REPEATS as usual.
+    """
+    enc_key, mac_key, jobs = _bulk_jobs(0)
+    best = {"routed": float("inf"), "direct": float("inf")}
+    with using_provider("reference") as provider:
+        cipher = AES(enc_key)
+
+        def direct_one(nonce, plaintext, ad):
+            ciphertext = ctr_transform(cipher, nonce, plaintext)
+            header = len(ad).to_bytes(4, "big") + ad
+            return ciphertext, HMACSHA256(
+                mac_key, header + nonce + ciphertext).digest()
+
+        def routed_one(nonce, plaintext, ad):
+            return provider.seal(enc_key, mac_key, nonce, plaintext, ad)
+
+        assert direct_one(*jobs[0]) == routed_one(*jobs[0])  # and warm
+        clock = time.perf_counter
+        with _gc_pinned():
+            for attempt in range(REPEATS):
+                t_direct = t_routed = 0.0
+                for i, job in enumerate(jobs):
+                    pair = ((direct_one, routed_one) if (i + attempt) % 2
+                            else (routed_one, direct_one))
+                    start = clock()
+                    pair[0](*job)
+                    mid = clock()
+                    pair[1](*job)
+                    end = clock()
+                    if pair[0] is direct_one:
+                        t_direct += mid - start
+                        t_routed += end - mid
+                    else:
+                        t_routed += mid - start
+                        t_direct += end - mid
+                best["direct"] = min(best["direct"], t_direct)
+                best["routed"] = min(best["routed"], t_routed)
+    return best
+
+
+def _handshake_once(backend: str, attempt: int) -> float:
+    """Seconds for JOIN_MEMBERS full join handshakes."""
+    with using_provider(backend):
+        with _gc_pinned():
+            start = time.perf_counter()
+            net, leader, members = build_itgm_group(
+                JOIN_MEMBERS, seed=attempt)
+            elapsed = time.perf_counter() - start
+    assert leader.members == sorted(members)
+    return elapsed
+
+
+def _rekey_once(backend: str, attempt: int) -> float:
+    """Seconds for REKEYS full rekey rounds on a joined group."""
+    with using_provider(backend):
+        net, leader, members = build_itgm_group(JOIN_MEMBERS, seed=attempt)
+        epoch = leader.group_epoch
+        with _gc_pinned():
+            start = time.perf_counter()
+            for _ in range(REKEYS):
+                net.post_all(leader.rekey_now())
+                net.run()
+            elapsed = time.perf_counter() - start
+    assert leader.group_epoch == epoch + REKEYS
+    return elapsed
+
+
+def test_crypto_backend_gate():
+    bulk = _interleaved_best(BACKENDS, _bulk_seal_once)
+    indirection = _indirection_best()
+    handshake = _interleaved_best(BACKENDS, _handshake_once)
+    rekey = _interleaved_best(BACKENDS, _rekey_once)
+
+    with using_provider("fast") as fast:
+        fast_aes = fast.aes_backend
+    speedup = bulk["reference"] / bulk["fast"]
+    indirection_ratio = indirection["routed"] / indirection["direct"]
+
+    write_bench_record("crypto", {
+        "backends": {
+            name: {
+                "bulk_seal_open_s": bulk[name],
+                "bulk_frames_per_s": BULK_FRAMES / bulk[name],
+                "handshakes_per_s": JOIN_MEMBERS / handshake[name],
+                "rekeys_per_s": REKEYS / rekey[name],
+            }
+            for name in BACKENDS
+        },
+        "bulk_frames_per_measurement": BULK_FRAMES,
+        "payload_len": PAYLOAD_LEN,
+        "repeats": REPEATS,
+        "fast_aes_backend": fast_aes,
+        "fast_speedup_over_reference": speedup,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "speedup_gate_enforced": fast_aes == "cryptography",
+        "provider_indirection": {
+            "routed_s": indirection["routed"],
+            "direct_s": indirection["direct"],
+            "ratio": indirection_ratio,
+            "bound": MAX_INDIRECTION,
+        },
+    })
+
+    assert indirection_ratio <= MAX_INDIRECTION, (
+        f"provider indirection {indirection_ratio:.4f} > {MAX_INDIRECTION}"
+    )
+    if fast_aes != "cryptography":
+        pytest.skip(
+            "cryptography AES unavailable: fast backend ran on the pure "
+            f"block cipher (speedup {speedup:.1f}x recorded, gate skipped)"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast backend only {speedup:.1f}x reference on bulk sealing "
+        f"(gate: {MIN_SPEEDUP}x)"
+    )

@@ -16,10 +16,21 @@ software.  This package provides those primitives from scratch:
 Everything is validated against published test vectors in the test suite.
 The protocol layers only consume :class:`~repro.crypto.aead.AuthenticatedCipher`
 and the typed keys, so the concrete cipher can be swapped without touching
-protocol code.
+protocol code — and :mod:`repro.crypto.provider` does exactly that: the
+from-scratch code is the ``reference`` backend, a stdlib
+``hashlib``/``hmac`` (plus optional ``cryptography`` AES) ``fast``
+backend is selected with :func:`set_provider` or the
+``REPRO_CRYPTO_BACKEND`` environment variable, and a differential
+conformance suite proves the two byte-identical on every primitive and
+on seeded end-to-end transcripts.
 """
 
-from repro.crypto.aead import AuthenticatedCipher, SealedBox
+from repro.crypto.aead import (
+    AuthenticatedCipher,
+    SealedBox,
+    SealRequest,
+    seal_many,
+)
 from repro.crypto.keys import (
     GroupKey,
     KeyMaterial,
@@ -28,11 +39,21 @@ from repro.crypto.keys import (
     derive_long_term_key,
 )
 from repro.crypto.mac import hmac_sha256
+from repro.crypto.provider import (
+    CryptoProvider,
+    available_backends,
+    get_provider,
+    reset_provider,
+    set_provider,
+    using_provider,
+)
 from repro.crypto.rng import DeterministicRandom, Nonce, SystemRandom
 
 __all__ = [
     "AuthenticatedCipher",
     "SealedBox",
+    "SealRequest",
+    "seal_many",
     "KeyMaterial",
     "LongTermKey",
     "SessionKey",
@@ -42,4 +63,10 @@ __all__ = [
     "Nonce",
     "SystemRandom",
     "DeterministicRandom",
+    "CryptoProvider",
+    "available_backends",
+    "get_provider",
+    "reset_provider",
+    "set_provider",
+    "using_provider",
 ]

@@ -9,18 +9,27 @@ AES-128-CTR followed by HMAC-SHA256 over (header || nonce || ciphertext),
 with independent subkeys derived from K.
 
 :class:`SealedBox` is the concrete wire representation of ``{X}_K``.
+
+All cryptographic work dispatches through the active
+:class:`~repro.crypto.provider.CryptoProvider`, so switching backends
+(``set_provider`` / ``REPRO_CRYPTO_BACKEND``) retargets every seal and
+open in the process while producing byte-identical boxes.  The batch
+entry points (:meth:`AuthenticatedCipher.seal_many` /
+:meth:`AuthenticatedCipher.open_many`, and the cross-key module-level
+:func:`seal_many`) exist for multi-frame flushes — the leader's admin
+fan-out and the GROUP_WRAP demux — so per-call overhead is paid once per
+flush rather than once per frame.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.crypto.aes import AES
 from repro.crypto.keys import KeyMaterial
-from repro.crypto.mac import hmac_sha256
-from repro.crypto.modes import ctr_transform
+from repro.crypto.provider import get_provider
 from repro.crypto.rng import RandomSource, SystemRandom
-from repro.exceptions import CodecError, IntegrityError
+from repro.exceptions import CodecError
 
 TAG_LEN = 32
 CTR_NONCE_LEN = 8
@@ -64,17 +73,18 @@ class AuthenticatedCipher:
     b'hello'
     """
 
+    __slots__ = ("_enc_key", "_mac_key", "_rng")
+
     def __init__(self, key: KeyMaterial, rng: RandomSource | None = None) -> None:
-        enc_key, mac_key = key.subkeys()
-        self._aes = AES(enc_key)
-        self._mac_key = mac_key
+        self._enc_key, self._mac_key = key.subkeys()
         self._rng = rng if rng is not None else SystemRandom()
 
     def seal(self, plaintext: bytes, associated_data: bytes = b"") -> SealedBox:
         """Encrypt and authenticate ``plaintext``."""
         nonce = self._rng.random_bytes(CTR_NONCE_LEN)
-        ciphertext = ctr_transform(self._aes, nonce, plaintext)
-        tag = self._compute_tag(nonce, ciphertext, associated_data)
+        ciphertext, tag = get_provider().seal(
+            self._enc_key, self._mac_key, nonce, plaintext, associated_data
+        )
         return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
 
     def seal_with_nonce(
@@ -89,23 +99,115 @@ class AuthenticatedCipher:
         """
         if len(nonce) != CTR_NONCE_LEN:
             raise CodecError(f"CTR nonce must be {CTR_NONCE_LEN} bytes")
-        ciphertext = ctr_transform(self._aes, nonce, plaintext)
-        tag = self._compute_tag(nonce, ciphertext, associated_data)
+        ciphertext, tag = get_provider().seal(
+            self._enc_key, self._mac_key, nonce, plaintext, associated_data
+        )
         return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
 
     def open(self, box: SealedBox, associated_data: bytes = b"") -> bytes:
         """Verify and decrypt, raising :class:`IntegrityError` on forgery."""
-        expected = self._compute_tag(box.nonce, box.ciphertext, associated_data)
-        from repro.util.bytesops import constant_time_eq
+        return get_provider().open(
+            self._enc_key, self._mac_key,
+            box.nonce, box.ciphertext, box.tag, associated_data,
+        )
 
-        if not constant_time_eq(expected, box.tag):
-            raise IntegrityError("MAC verification failed")
-        return ctr_transform(self._aes, box.nonce, box.ciphertext)
+    # -- batch entry points ----------------------------------------------
+    #
+    # Same key, many frames.  A flush of n frames costs one provider
+    # dispatch and one key-schedule lookup instead of n of each; the
+    # results are exactly what n sequential seal()/open() calls would
+    # produce (nonces are drawn from this cipher's rng in item order).
+
+    def seal_many(
+        self, items: Sequence[tuple[bytes, bytes]]
+    ) -> list[SealedBox]:
+        """Seal a flush of ``(plaintext, associated_data)`` frames."""
+        rng = self._rng
+        jobs = [
+            (rng.random_bytes(CTR_NONCE_LEN), plaintext, ad)
+            for plaintext, ad in items
+        ]
+        sealed = get_provider().seal_many(self._enc_key, self._mac_key, jobs)
+        return [
+            SealedBox(nonce=job[0], ciphertext=ct, tag=tag)
+            for job, (ct, tag) in zip(jobs, sealed)
+        ]
+
+    def open_many(
+        self, items: Sequence[tuple[SealedBox, bytes]]
+    ) -> list[bytes | None]:
+        """Verify-and-decrypt a flush of ``(box, associated_data)`` frames.
+
+        Per-item results: plaintext, or ``None`` where the MAC failed —
+        batch callers route failures back through their single-frame
+        rejection path (which re-raises the typed error and emits the
+        frame's rejection events), so nothing about failure handling
+        changes shape.
+        """
+        return get_provider().open_many(
+            self._enc_key, self._mac_key,
+            [(box.nonce, box.ciphertext, box.tag, ad) for box, ad in items],
+        )
 
     def _compute_tag(
         self, nonce: bytes, ciphertext: bytes, associated_data: bytes
     ) -> bytes:
         # Unambiguous framing: length-prefix the associated data so that
         # (ad, ct) pairs cannot collide across a boundary shift.
-        header = len(associated_data).to_bytes(4, "big") + associated_data
-        return hmac_sha256(self._mac_key, header + nonce + ciphertext)
+        return get_provider()._tag(
+            self._mac_key, nonce, ciphertext, associated_data
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SealRequest:
+    """One frame of a cross-key batch seal (see :func:`seal_many`)."""
+
+    cipher: AuthenticatedCipher
+    plaintext: bytes
+    associated_data: bytes = b""
+
+
+def seal_many(requests: Sequence[SealRequest]) -> list[SealedBox]:
+    """Seal a flush of frames under *different* keys, in request order.
+
+    This is the leader fan-out shape: one rekey or admin broadcast seals
+    one payload per member, each under that member's session key.  Nonces
+    are drawn from each request's cipher rng in request order (identical
+    to sequential sealing); the frames are then grouped per key so each
+    key pays a single provider batch call.
+    """
+    provider = get_provider()
+    # (nonce, plaintext, ad) per request, nonces drawn in request order.
+    jobs = [
+        (req.cipher._rng.random_bytes(CTR_NONCE_LEN),
+         req.plaintext, req.associated_data)
+        for req in requests
+    ]
+    # Group by key pair; sealing is pure given the nonce, so per-group
+    # evaluation order cannot change any output byte.
+    groups: dict[tuple[bytes, bytes], list[int]] = {}
+    for index, req in enumerate(requests):
+        groups.setdefault(
+            (req.cipher._enc_key, req.cipher._mac_key), []
+        ).append(index)
+    out: list[SealedBox | None] = [None] * len(requests)
+    for (enc_key, mac_key), indices in groups.items():
+        sealed = provider.seal_many(
+            enc_key, mac_key, [jobs[i] for i in indices]
+        )
+        for i, (ciphertext, tag) in zip(indices, sealed):
+            out[i] = SealedBox(
+                nonce=jobs[i][0], ciphertext=ciphertext, tag=tag
+            )
+    return out  # type: ignore[return-value]
+
+
+__all__ = [
+    "CTR_NONCE_LEN",
+    "TAG_LEN",
+    "AuthenticatedCipher",
+    "SealRequest",
+    "SealedBox",
+    "seal_many",
+]

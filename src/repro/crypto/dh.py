@@ -72,11 +72,18 @@ def generate_keypair(rng: RandomSource | None = None) -> DHKeyPair:
 
 
 def validate_public_key(public: int) -> None:
-    """Reject out-of-range and small-subgroup public values.
+    """Reject non-canonical, out-of-range, and small-subgroup values.
 
     For a safe-prime group the only small-order elements are 1 and p-1;
-    excluding them (and out-of-range values) is the standard check.
+    excluding them (and out-of-range values) is the standard check.  A
+    public value that is not a plain int (bools included — a mis-passed
+    flag would otherwise read as the small-order element 1) is rejected
+    with the same typed error, never coerced.
     """
+    if not isinstance(public, int) or isinstance(public, bool):
+        raise CryptoError(
+            f"DH public key must be an int, got {type(public).__name__}"
+        )
     if not 2 <= public <= MODP_2048_P - 2:
         raise CryptoError("DH public key out of range")
 
@@ -103,6 +110,13 @@ def derive_pairwise_long_term_key(
     relationship, not just the raw secret.  The result is an ordinary
     :class:`LongTermKey`: the §3.2 protocol runs on it unchanged.
     """
+    if not isinstance(user_id, str) or not isinstance(leader_id, str):
+        raise CryptoError("user_id and leader_id must be str")
+    if "|" in user_id or "|" in leader_id:
+        # "|" is the info-string field separator: allowing it would let
+        # two distinct (user, leader) pairs silently derive the same key
+        # (e.g. ("x|y", "z") and ("x", "y|z")).
+        raise CryptoError("identity strings must not contain '|'")
     secret = shared_secret(own, peer_public)
     prk = hkdf_extract(b"repro-enclaves-dh-pa", secret)
     info = b"pa|" + user_id.encode() + b"|" + leader_id.encode()

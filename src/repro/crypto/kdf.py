@@ -1,20 +1,21 @@
-"""Key derivation.
+"""Key derivation, routed through the active crypto backend.
 
 The paper assumes each user has "a long-term password that must be known
 in advance to the group leader", and a key ``P_a`` *derived from A's
 password*.  We derive it with PBKDF2-HMAC-SHA256 (RFC 2898 / RFC 8018),
-implemented from scratch and checked against the RFC 6070-style published
-vectors for SHA-256.
+checked against published vectors; ``hkdf_extract``/``hkdf_expand``
+(RFC 5869) provide labeled subkey derivation so one secret can yield
+independent encryption and MAC keys for encrypt-then-MAC.
 
-``hkdf_expand`` provides labeled subkey derivation so one secret can
-yield independent encryption and MAC keys for encrypt-then-MAC.
+The algorithms themselves live on :class:`~repro.crypto.provider.CryptoProvider`
+(generic chains over each backend's HMAC; the fast backend swaps in
+``hashlib.pbkdf2_hmac``).  These wrappers keep the historical call sites
+and argument validation, and always reflect the selected backend.
 """
 
 from __future__ import annotations
 
-import struct
-
-from repro.crypto.mac import HMACSHA256, hmac_sha256
+from repro.crypto.provider import get_provider
 
 
 def pbkdf2_hmac_sha256(
@@ -24,44 +25,22 @@ def pbkdf2_hmac_sha256(
     dk_len: int = 32,
 ) -> bytes:
     """PBKDF2 with HMAC-SHA256 as the PRF."""
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-    if dk_len < 1:
-        raise ValueError("dk_len must be >= 1")
-    n_blocks = (dk_len + 31) // 32
-    derived = bytearray()
-    for block_index in range(1, n_blocks + 1):
-        u = hmac_sha256(password, salt + struct.pack(">I", block_index))
-        t = bytearray(u)
-        for _ in range(iterations - 1):
-            u = hmac_sha256(password, u)
-            for j in range(32):
-                t[j] ^= u[j]
-        derived += t
-    return bytes(derived[:dk_len])
+    return get_provider().pbkdf2_hmac_sha256(password, salt, iterations, dk_len)
 
 
 def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
     """HKDF-Extract (RFC 5869) with HMAC-SHA256."""
-    if not salt:
-        salt = b"\x00" * 32
-    return hmac_sha256(salt, ikm)
+    return get_provider().hkdf_extract(salt, ikm)
 
 
 def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
-    """HKDF-Expand (RFC 5869) with HMAC-SHA256."""
-    if length > 255 * 32:
-        raise ValueError("HKDF-Expand length too large")
-    okm = bytearray()
-    block = b""
-    counter = 1
-    while len(okm) < length:
-        mac = HMACSHA256(prk)
-        mac.update(block + info + bytes([counter]))
-        block = mac.digest()
-        okm += block
-        counter += 1
-    return bytes(okm[:length])
+    """HKDF-Expand (RFC 5869) with HMAC-SHA256.
+
+    ``length`` must be a non-negative int no larger than 255 blocks
+    (8160 bytes); anything else raises ``ValueError`` — never a silent
+    truncation.
+    """
+    return get_provider().hkdf_expand(prk, info, length)
 
 
 def derive_subkeys(secret: bytes, label: bytes) -> tuple[bytes, bytes]:
@@ -70,7 +49,8 @@ def derive_subkeys(secret: bytes, label: bytes) -> tuple[bytes, bytes]:
     Protocol code never uses a raw key directly for both encryption and
     authentication; this split is what makes encrypt-then-MAC sound.
     """
-    prk = hkdf_extract(b"repro-enclaves-v1", secret)
-    enc_key = hkdf_expand(prk, label + b"|enc", 16)
-    mac_key = hkdf_expand(prk, label + b"|mac", 32)
+    provider = get_provider()
+    prk = provider.hkdf_extract(b"repro-enclaves-v1", secret)
+    enc_key = provider.hkdf_expand(prk, label + b"|enc", 16)
+    mac_key = provider.hkdf_expand(prk, label + b"|mac", 32)
     return enc_key, mac_key

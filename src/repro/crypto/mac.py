@@ -1,11 +1,19 @@
-"""HMAC (RFC 2104) over the from-scratch SHA-256.
+"""HMAC (RFC 2104) over SHA-256, routed through the active backend.
 
 Only HMAC-SHA256 is provided because it is the only MAC the protocol
-stack needs.  Verified against the RFC 4231 test vectors.
+stack needs.  Verified against the RFC 4231 test vectors (under both
+backends — see ``tests/crypto/vectors/``).
+
+:class:`HMACSHA256` is the from-scratch incremental implementation the
+``reference`` backend binds; the module-level helpers dispatch through
+:func:`repro.crypto.provider.get_provider`, so every consumer —
+attestations, ratchets, the DRBG — transparently follows the selected
+backend while producing identical bytes.
 """
 
 from __future__ import annotations
 
+from repro.crypto.provider import get_provider
 from repro.crypto.sha256 import SHA256, sha256
 from repro.util.bytesops import constant_time_eq
 
@@ -15,7 +23,7 @@ _OPAD = bytes([0x5C] * _BLOCK_SIZE)
 
 
 class HMACSHA256:
-    """Incremental HMAC-SHA256."""
+    """Incremental HMAC-SHA256 (the pure-Python reference)."""
 
     digest_size = 32
 
@@ -45,10 +53,15 @@ class HMACSHA256:
 
 
 def hmac_sha256(key: bytes, data: bytes) -> bytes:
-    """One-shot HMAC-SHA256 of ``data`` under ``key``."""
-    return HMACSHA256(key, data).digest()
+    """One-shot HMAC-SHA256 of ``data`` under ``key`` (active backend)."""
+    return get_provider().hmac_sha256(key, data)
+
+
+def hmac_new(key: bytes, data: bytes = b""):
+    """Incremental HMAC-SHA256 object from the active backend."""
+    return get_provider().hmac_new(key, data)
 
 
 def verify_hmac_sha256(key: bytes, data: bytes, tag: bytes) -> bool:
     """Constant-time verification of an HMAC-SHA256 tag."""
-    return constant_time_eq(hmac_sha256(key, data), tag)
+    return constant_time_eq(get_provider().hmac_sha256(key, data), tag)

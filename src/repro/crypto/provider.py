@@ -1,0 +1,630 @@
+"""Pluggable crypto backends behind one :class:`CryptoProvider` interface.
+
+Every seal/open, handshake, and rekey in the stack bottoms out in this
+package's primitives.  The from-scratch pure-Python implementations
+(:mod:`~repro.crypto.sha256`, :mod:`~repro.crypto.aes`, …) remain the
+**reference** backend — readable, self-contained, vector-checked — while
+the **fast** backend routes the same operations through stdlib
+:mod:`hashlib`/:mod:`hmac` (C speed) and, when the optional
+``cryptography`` package is importable, hardware-accelerated AES.
+
+Both backends compute *exactly the same functions*: SHA-256, HMAC-SHA256,
+HKDF, PBKDF2, AES-128/192/256, CBC/CTR, and the encrypt-then-MAC sealed
+box.  Byte-for-byte agreement is not an aspiration but a tested
+invariant — ``tests/crypto/test_conformance.py`` runs every primitive and
+seeded end-to-end transcripts under both backends and asserts identical
+output, and the known-answer vectors under ``tests/crypto/vectors/`` pin
+whichever backend is active to FIPS/RFC truth.
+
+Selection:
+
+* ``REPRO_CRYPTO_BACKEND=fast`` (environment) picks the backend at
+  process start; unset or ``reference`` keeps the pure-Python substrate.
+* :func:`set_provider` switches at runtime; :func:`using_provider` is the
+  scoped variant tests use.
+
+The provider also carries the **batch** entry points
+(:meth:`CryptoProvider.seal_many` / :meth:`CryptoProvider.open_many`)
+that the leader's admin fan-out and the GROUP_WRAP demux use so a
+multi-frame flush pays the Python call overhead once, and caches AES key
+schedules per key so re-sealing under a long-lived key never re-expands
+the schedule.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.exceptions import CryptoError, IntegrityError
+
+#: Environment variable consulted by the first :func:`get_provider` call.
+ENV_VAR = "REPRO_CRYPTO_BACKEND"
+
+#: Maximum HKDF-Expand output, per RFC 5869 (255 blocks of HashLen).
+HKDF_MAX_LENGTH = 255 * 32
+
+
+class _KeyScheduleCache:
+    """Small LRU of block-cipher objects keyed by raw key bytes.
+
+    AES key expansion costs ~40 S-box passes per key; protocol code
+    constructs a cipher per frame in several hot paths, so the schedule
+    is cached here (per provider, since the cached object type differs
+    between backends).  Bounded so a churn of ephemeral message keys
+    cannot grow it without limit.
+    """
+
+    __slots__ = ("_entries", "_maxsize")
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self._entries: OrderedDict[bytes, object] = OrderedDict()
+        self._maxsize = maxsize
+
+    def get(self, key: bytes, factory):
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = factory(key)
+            self._entries[key] = entry
+            if len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CryptoProvider(ABC):
+    """One backend's implementation of every primitive the stack uses.
+
+    The generic mode/KDF/AEAD logic lives here, expressed in terms of
+    the abstract hash/MAC/block operations, so a backend only overrides
+    what it can genuinely accelerate — and any backend that satisfies
+    the primitive contracts automatically produces byte-identical
+    sealed boxes, subkeys, and transcripts.
+    """
+
+    #: Registry name ("reference", "fast").
+    name: str = "abstract"
+    #: Which AES implementation backs the block layer ("pure" or
+    #: "cryptography") — surfaced in BENCH_crypto.json so a ratio is
+    #: never read without knowing what produced it.
+    aes_backend: str = "pure"
+
+    def __init__(self) -> None:
+        self._schedules = _KeyScheduleCache()
+
+    # -- hashing ---------------------------------------------------------
+
+    @abstractmethod
+    def sha256(self, data: bytes) -> bytes:
+        """One-shot SHA-256."""
+
+    @abstractmethod
+    def sha256_new(self, data: bytes = b""):
+        """Incremental SHA-256 hasher (update/digest/hexdigest/copy)."""
+
+    # -- MAC -------------------------------------------------------------
+
+    @abstractmethod
+    def hmac_sha256(self, key: bytes, data: bytes) -> bytes:
+        """One-shot HMAC-SHA256."""
+
+    @abstractmethod
+    def hmac_new(self, key: bytes, data: bytes = b""):
+        """Incremental HMAC-SHA256 (update/digest/hexdigest/copy)."""
+
+    # -- key derivation --------------------------------------------------
+
+    def hkdf_extract(self, salt: bytes, ikm: bytes) -> bytes:
+        """HKDF-Extract (RFC 5869) with HMAC-SHA256."""
+        if not salt:
+            salt = b"\x00" * 32
+        return self.hmac_sha256(salt, ikm)
+
+    def hkdf_expand(self, prk: bytes, info: bytes, length: int) -> bytes:
+        """HKDF-Expand (RFC 5869) with HMAC-SHA256."""
+        if not isinstance(length, int) or isinstance(length, bool):
+            raise ValueError("HKDF-Expand length must be an int")
+        if length < 0:
+            raise ValueError("HKDF-Expand length must be >= 0")
+        if length > HKDF_MAX_LENGTH:
+            raise ValueError("HKDF-Expand length too large")
+        hmac_sha256 = self.hmac_sha256
+        okm = bytearray()
+        block = b""
+        counter = 1
+        while len(okm) < length:
+            block = hmac_sha256(prk, block + info + bytes([counter]))
+            okm += block
+            counter += 1
+        return bytes(okm[:length])
+
+    def pbkdf2_hmac_sha256(
+        self, password: bytes, salt: bytes, iterations: int, dk_len: int = 32
+    ) -> bytes:
+        """PBKDF2 (RFC 8018) with HMAC-SHA256 as the PRF."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if dk_len < 1:
+            raise ValueError("dk_len must be >= 1")
+        hmac_sha256 = self.hmac_sha256
+        n_blocks = (dk_len + 31) // 32
+        derived = bytearray()
+        for block_index in range(1, n_blocks + 1):
+            u = hmac_sha256(password, salt + block_index.to_bytes(4, "big"))
+            t = bytearray(u)
+            for _ in range(iterations - 1):
+                u = hmac_sha256(password, u)
+                for j in range(32):
+                    t[j] ^= u[j]
+            derived += t
+        return bytes(derived[:dk_len])
+
+    # -- block cipher ----------------------------------------------------
+
+    @abstractmethod
+    def _make_aes(self, key: bytes):
+        """Build this backend's block-cipher object for ``key``
+        (something with ``encrypt_block``/``decrypt_block``)."""
+
+    def aes(self, key: bytes):
+        """Block cipher for ``key``, with the schedule cached."""
+        return self._schedules.get(key, self._make_aes)
+
+    def aes_encrypt_block(self, key: bytes, block: bytes) -> bytes:
+        return self.aes(key).encrypt_block(block)
+
+    def aes_decrypt_block(self, key: bytes, block: bytes) -> bytes:
+        return self.aes(key).decrypt_block(block)
+
+    # -- chaining modes --------------------------------------------------
+
+    def ctr_transform(self, key: bytes, nonce: bytes, data: bytes) -> bytes:
+        """CTR mode over an 8-byte nonce || 64-bit big-endian counter."""
+        from repro.crypto.modes import ctr_transform
+
+        return ctr_transform(self.aes(key), nonce, data)
+
+    def cbc_encrypt(self, key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+        """CBC-encrypt with PKCS#7 padding."""
+        from repro.crypto.modes import cbc_encrypt
+
+        return cbc_encrypt(self.aes(key), iv, plaintext)
+
+    def cbc_decrypt(self, key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+        """CBC-decrypt and strip PKCS#7 padding (typed PaddingError)."""
+        from repro.crypto.modes import cbc_decrypt
+
+        return cbc_decrypt(self.aes(key), iv, ciphertext)
+
+    # -- sealed boxes (encrypt-then-MAC AEAD core) -----------------------
+    #
+    # The tag layout (length-prefixed associated data, then nonce, then
+    # ciphertext) is part of the wire format; it lives here, once, so
+    # every backend frames identically by construction.
+
+    def _tag(
+        self, mac_key: bytes, nonce: bytes, ciphertext: bytes, ad: bytes
+    ) -> bytes:
+        header = len(ad).to_bytes(4, "big") + ad
+        return self.hmac_sha256(mac_key, header + nonce + ciphertext)
+
+    def seal(
+        self,
+        enc_key: bytes,
+        mac_key: bytes,
+        nonce: bytes,
+        plaintext: bytes,
+        associated_data: bytes = b"",
+    ) -> tuple[bytes, bytes]:
+        """Encrypt-then-MAC one frame: ``(ciphertext, tag)``."""
+        ciphertext = self.ctr_transform(enc_key, nonce, plaintext)
+        return ciphertext, self._tag(mac_key, nonce, ciphertext,
+                                     associated_data)
+
+    def open(
+        self,
+        enc_key: bytes,
+        mac_key: bytes,
+        nonce: bytes,
+        ciphertext: bytes,
+        tag: bytes,
+        associated_data: bytes = b"",
+    ) -> bytes:
+        """Verify and decrypt one frame (IntegrityError on forgery)."""
+        from repro.util.bytesops import constant_time_eq
+
+        expected = self._tag(mac_key, nonce, ciphertext, associated_data)
+        if not constant_time_eq(expected, tag):
+            raise IntegrityError("MAC verification failed")
+        return self.ctr_transform(enc_key, nonce, ciphertext)
+
+    def seal_many(
+        self,
+        enc_key: bytes,
+        mac_key: bytes,
+        items: Sequence[tuple[bytes, bytes, bytes]],
+    ) -> list[tuple[bytes, bytes]]:
+        """Seal a flush of ``(nonce, plaintext, ad)`` frames under one key.
+
+        Semantically identical to calling :meth:`seal` per item; the
+        batch form binds the key schedule and method lookups once so a
+        multi-frame flush (leader fan-out, demux drain) amortizes the
+        per-call overhead.
+        """
+        cipher = self.aes(key=enc_key)
+        from repro.crypto.modes import ctr_transform
+
+        hmac_sha256 = self.hmac_sha256
+        out = []
+        for nonce, plaintext, ad in items:
+            ciphertext = ctr_transform(cipher, nonce, plaintext)
+            header = len(ad).to_bytes(4, "big") + ad
+            out.append((ciphertext,
+                        hmac_sha256(mac_key, header + nonce + ciphertext)))
+        return out
+
+    def open_many(
+        self,
+        enc_key: bytes,
+        mac_key: bytes,
+        items: Sequence[tuple[bytes, bytes, bytes, bytes]],
+    ) -> list[bytes | None]:
+        """Verify-and-decrypt a flush of ``(nonce, ct, tag, ad)`` frames.
+
+        Per-item results: plaintext on success, ``None`` on MAC failure
+        (no exception — batch callers route failures to their existing
+        per-frame rejection paths, which re-run the single-frame logic).
+        """
+        from repro.util.bytesops import constant_time_eq
+
+        cipher = self.aes(key=enc_key)
+        from repro.crypto.modes import ctr_transform
+
+        hmac_sha256 = self.hmac_sha256
+        out: list[bytes | None] = []
+        for nonce, ciphertext, tag, ad in items:
+            header = len(ad).to_bytes(4, "big") + ad
+            expected = hmac_sha256(mac_key, header + nonce + ciphertext)
+            if constant_time_eq(expected, tag):
+                out.append(ctr_transform(cipher, nonce, ciphertext))
+            else:
+                out.append(None)
+        return out
+
+
+class ReferenceProvider(CryptoProvider):
+    """The from-scratch pure-Python substrate (the seed behaviour).
+
+    Every primitive is the readable FIPS/RFC transcription this package
+    shipped with; this class only *binds* them behind the provider
+    interface.  It is the default backend and the truth source the fast
+    backend is differentially tested against.
+    """
+
+    name = "reference"
+    aes_backend = "pure"
+
+    def __init__(self) -> None:
+        super().__init__()
+        from repro.crypto.aes import AES
+        from repro.crypto.mac import HMACSHA256
+        from repro.crypto.sha256 import SHA256
+
+        self._AES = AES
+        self._HMACSHA256 = HMACSHA256
+        self._SHA256 = SHA256
+
+    def sha256(self, data: bytes) -> bytes:
+        return self._SHA256(data).digest()
+
+    def sha256_new(self, data: bytes = b""):
+        return self._SHA256(data)
+
+    def hmac_sha256(self, key: bytes, data: bytes) -> bytes:
+        return self._HMACSHA256(key, data).digest()
+
+    def hmac_new(self, key: bytes, data: bytes = b""):
+        return self._HMACSHA256(key, data)
+
+    def _make_aes(self, key: bytes):
+        return self._AES(key)
+
+
+class _EcbBlockCipher:
+    """AES block operations via ``cryptography``'s ECB mode.
+
+    ECB of a single block *is* the raw block transform; the encryptor /
+    decryptor objects are stateless and reusable, so one pair per key
+    doubles as the cached "schedule"."""
+
+    __slots__ = ("_enc", "_dec", "key_size")
+
+    def __init__(self, key: bytes, cipher_cls, algorithms, modes) -> None:
+        if len(key) not in (16, 24, 32):
+            from repro.exceptions import KeyError_
+
+            raise KeyError_(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        cipher = cipher_cls(algorithms.AES(key), modes.ECB())
+        self._enc = cipher.encryptor()
+        self._dec = cipher.decryptor()
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        return self._enc.update(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        return self._dec.update(block)
+
+
+class FastProvider(CryptoProvider):
+    """Stdlib ``hashlib``/``hmac`` (plus optional ``cryptography`` AES).
+
+    * SHA-256, HMAC, PBKDF2: :mod:`hashlib`/:mod:`hmac` — identical
+      functions at C speed (``hashlib.pbkdf2_hmac`` for the stretch
+      loop).
+    * HKDF: the generic RFC 5869 chain over the fast HMAC.
+    * AES/CBC/CTR and the sealed box: ``cryptography`` when importable
+      (our 8-byte-nonce CTR layout is standard CTR with the counter
+      half of the initial block zero, so ciphertexts match the
+      reference bit-for-bit); otherwise the pure-Python AES with its
+      cached key schedule, so the backend degrades gracefully instead
+      of failing to construct.
+    """
+
+    name = "fast"
+
+    def __init__(self) -> None:
+        super().__init__()
+        import hashlib
+        import hmac as hmac_mod
+
+        self._hashlib = hashlib
+        self._hmac_mod = hmac_mod
+        try:
+            from cryptography.hazmat.primitives.ciphers import (
+                Cipher,
+                algorithms,
+                modes,
+            )
+
+            self._cipher_cls = Cipher
+            self._algorithms = algorithms
+            self._modes = modes
+            self.aes_backend = "cryptography"
+        except ImportError:  # graceful degradation, see class docstring
+            self._cipher_cls = None
+            self._algorithms = None
+            self._modes = None
+            self.aes_backend = "pure"
+
+    # -- hashing / MAC ---------------------------------------------------
+
+    def sha256(self, data: bytes) -> bytes:
+        return self._hashlib.sha256(data).digest()
+
+    def sha256_new(self, data: bytes = b""):
+        return self._hashlib.sha256(data)
+
+    def hmac_sha256(self, key: bytes, data: bytes) -> bytes:
+        return self._hmac_mod.new(key, data, self._hashlib.sha256).digest()
+
+    def hmac_new(self, key: bytes, data: bytes = b""):
+        return self._hmac_mod.new(key, data, self._hashlib.sha256)
+
+    def pbkdf2_hmac_sha256(
+        self, password: bytes, salt: bytes, iterations: int, dk_len: int = 32
+    ) -> bytes:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if dk_len < 1:
+            raise ValueError("dk_len must be >= 1")
+        return self._hashlib.pbkdf2_hmac(
+            "sha256", password, salt, iterations, dk_len
+        )
+
+    # -- AES -------------------------------------------------------------
+
+    def _make_aes(self, key: bytes):
+        if self._cipher_cls is not None:
+            return _EcbBlockCipher(
+                key, self._cipher_cls, self._algorithms, self._modes
+            )
+        from repro.crypto.aes import AES
+
+        return AES(key)
+
+    def ctr_transform(self, key: bytes, nonce: bytes, data: bytes) -> bytes:
+        if len(nonce) != 8:
+            raise ValueError("CTR nonce must be 8 bytes")
+        if self._cipher_cls is None:
+            from repro.crypto.modes import ctr_transform
+
+            return ctr_transform(self.aes(key), nonce, data)
+        # Standard 128-bit-counter CTR with the low 64 bits starting at
+        # zero reproduces the reference nonce||counter keystream exactly.
+        encryptor = self._cipher_cls(
+            self._algorithms.AES(key), self._modes.CTR(nonce + bytes(8))
+        ).encryptor()
+        return encryptor.update(data) + encryptor.finalize()
+
+    def cbc_encrypt(self, key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+        if self._cipher_cls is None:
+            return super().cbc_encrypt(key, iv, plaintext)
+        if len(iv) != 16:
+            raise ValueError("IV must be one block")
+        from repro.util.bytesops import pkcs7_pad
+
+        encryptor = self._cipher_cls(
+            self._algorithms.AES(key), self._modes.CBC(iv)
+        ).encryptor()
+        return encryptor.update(pkcs7_pad(plaintext, 16)) + encryptor.finalize()
+
+    def cbc_decrypt(self, key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+        if self._cipher_cls is None:
+            return super().cbc_decrypt(key, iv, ciphertext)
+        if len(iv) != 16:
+            raise ValueError("IV must be one block")
+        if len(ciphertext) % 16 != 0:
+            raise ValueError("ciphertext is not block-aligned")
+        from repro.util.bytesops import pkcs7_unpad
+
+        decryptor = self._cipher_cls(
+            self._algorithms.AES(key), self._modes.CBC(iv)
+        ).decryptor()
+        padded = decryptor.update(ciphertext) + decryptor.finalize()
+        return pkcs7_unpad(padded, 16)
+
+    # -- sealed boxes ----------------------------------------------------
+
+    def seal_many(
+        self,
+        enc_key: bytes,
+        mac_key: bytes,
+        items: Sequence[tuple[bytes, bytes, bytes]],
+    ) -> list[tuple[bytes, bytes]]:
+        if self._cipher_cls is None:
+            return super().seal_many(enc_key, mac_key, items)
+        cipher_cls = self._cipher_cls
+        aes_alg = self._algorithms.AES(enc_key)
+        ctr_mode = self._modes.CTR
+        hmac_new = self._hmac_mod.new
+        sha256 = self._hashlib.sha256
+        out = []
+        for nonce, plaintext, ad in items:
+            encryptor = cipher_cls(aes_alg, ctr_mode(nonce + bytes(8))).encryptor()
+            ciphertext = encryptor.update(plaintext) + encryptor.finalize()
+            mac = hmac_new(mac_key, len(ad).to_bytes(4, "big") + ad, sha256)
+            mac.update(nonce)
+            mac.update(ciphertext)
+            out.append((ciphertext, mac.digest()))
+        return out
+
+    def open_many(
+        self,
+        enc_key: bytes,
+        mac_key: bytes,
+        items: Sequence[tuple[bytes, bytes, bytes, bytes]],
+    ) -> list[bytes | None]:
+        if self._cipher_cls is None:
+            return super().open_many(enc_key, mac_key, items)
+        cipher_cls = self._cipher_cls
+        aes_alg = self._algorithms.AES(enc_key)
+        ctr_mode = self._modes.CTR
+        hmac_new = self._hmac_mod.new
+        sha256 = self._hashlib.sha256
+        compare_digest = self._hmac_mod.compare_digest
+        out: list[bytes | None] = []
+        for nonce, ciphertext, tag, ad in items:
+            mac = hmac_new(mac_key, len(ad).to_bytes(4, "big") + ad, sha256)
+            mac.update(nonce)
+            mac.update(ciphertext)
+            if compare_digest(mac.digest(), tag):
+                decryptor = cipher_cls(
+                    aes_alg, ctr_mode(nonce + bytes(8))
+                ).decryptor()
+                out.append(decryptor.update(ciphertext) + decryptor.finalize())
+            else:
+                out.append(None)
+        return out
+
+
+# -- registry ------------------------------------------------------------
+
+_BACKENDS: dict[str, type[CryptoProvider]] = {
+    "reference": ReferenceProvider,
+    "fast": FastProvider,
+}
+
+_active: CryptoProvider | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names :func:`set_provider` accepts."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _instantiate(name: str) -> CryptoProvider:
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise CryptoError(
+            f"unknown crypto backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return cls()
+
+
+def get_provider() -> CryptoProvider:
+    """The active backend, initialized from ``REPRO_CRYPTO_BACKEND`` on
+    first use (unset → ``reference``)."""
+    global _active
+    if _active is None:
+        name = os.environ.get(ENV_VAR, "").strip() or "reference"
+        _active = _instantiate(name)
+    return _active
+
+
+def set_provider(backend: str | CryptoProvider) -> CryptoProvider:
+    """Select the crypto backend at runtime; returns the new provider.
+
+    ``backend`` is a registry name (``"reference"``/``"fast"``) or an
+    already-constructed :class:`CryptoProvider` (how a future backend —
+    an HSM shim, say — plugs in without registry changes).  Safe to call
+    mid-process: key objects cache derived material per backend name, so
+    switching never serves one backend's cache to another.
+    """
+    global _active
+    if isinstance(backend, CryptoProvider):
+        _active = backend
+    elif isinstance(backend, str):
+        _active = _instantiate(backend)
+    else:
+        raise CryptoError(
+            f"backend must be a name or CryptoProvider, got {type(backend)}"
+        )
+    return _active
+
+
+def reset_provider() -> None:
+    """Forget the active backend; the next use re-reads the environment."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def using_provider(backend: str | CryptoProvider) -> Iterator[CryptoProvider]:
+    """Scoped :func:`set_provider` — the conformance suite's workhorse."""
+    global _active
+    previous = _active
+    provider = set_provider(backend)
+    try:
+        yield provider
+    finally:
+        _active = previous
+
+
+__all__ = [
+    "ENV_VAR",
+    "HKDF_MAX_LENGTH",
+    "CryptoProvider",
+    "FastProvider",
+    "ReferenceProvider",
+    "available_backends",
+    "get_provider",
+    "reset_provider",
+    "set_provider",
+    "using_provider",
+]

@@ -42,6 +42,19 @@ class Nonce:
         return f"Nonce({self.value[:4].hex()}…)"
 
 
+def _validate_count(n: int) -> None:
+    """Reject byte counts that would silently misbehave.
+
+    ``bytes[:n]`` with a negative ``n`` truncates instead of failing, so
+    without this check a buggy caller would get *short* key material
+    back — the worst possible failure mode for an RNG.
+    """
+    if not isinstance(n, int) or isinstance(n, bool):
+        raise TypeError(f"byte count must be an int, got {type(n).__name__}")
+    if n < 0:
+        raise ValueError(f"byte count must be >= 0, got {n}")
+
+
 class RandomSource(ABC):
     """Interface for nonce/key-material generation."""
 
@@ -62,6 +75,7 @@ class SystemRandom(RandomSource):
     """CSPRNG backed by the operating system (via :mod:`secrets`)."""
 
     def random_bytes(self, n: int) -> bytes:
+        _validate_count(n)
         return secrets.token_bytes(n)
 
 
@@ -77,14 +91,29 @@ class DeterministicRandom(RandomSource):
     """
 
     def __init__(self, seed: bytes | int | str = 0) -> None:
+        if isinstance(seed, bool):
+            # bool is an int subclass; a seed of True is almost always a
+            # mis-passed flag, and accepting it silently would alias the
+            # streams for seeds 0/1.
+            raise TypeError("seed must be bytes, int, or str, not bool")
         if isinstance(seed, int):
+            if seed < 0:
+                raise ValueError(f"integer seed must be >= 0, got {seed}")
+            if seed >= 1 << 64:
+                raise ValueError("integer seed must fit in 64 bits")
             seed = seed.to_bytes(8, "big", signed=False)
         elif isinstance(seed, str):
             seed = seed.encode()
+        elif not isinstance(seed, (bytes, bytearray)):
+            raise TypeError(
+                f"seed must be bytes, int, or str, "
+                f"got {type(seed).__name__}"
+            )
         self._seed = bytes(seed)
         self._counter = 0
 
     def random_bytes(self, n: int) -> bytes:
+        _validate_count(n)
         self._counter += 1
         out = bytearray()
         block_index = 0
@@ -96,4 +125,8 @@ class DeterministicRandom(RandomSource):
 
     def fork(self, label: str) -> "DeterministicRandom":
         """Derive an independent deterministic stream for a sub-component."""
+        if not isinstance(label, str):
+            raise TypeError(
+                f"fork label must be str, got {type(label).__name__}"
+            )
         return DeterministicRandom(hmac_sha256(self._seed, b"fork|" + label.encode()))

@@ -217,13 +217,18 @@ def _run_traffic(
 ) -> _SoakState:
     rng = DeterministicRandom(config.seed)
     now = [0.0]
-    net = SyncNetwork()
+    # Thread the run's bus through every emitting component: an
+    # injected bus must observe the whole stack, not just the counters
+    # this module subscribes itself (channels resolve to the process
+    # default otherwise, and an injected bus would silently see nothing).
+    net = SyncNetwork(telemetry=bus)
     directory = UserDirectory()
     leader = GroupLeader(
         "leader", directory,
         config=LeaderConfig(
             rekey_policy=RekeyPolicy.ON_JOIN | RekeyPolicy.ON_LEAVE),
         rng=rng.fork("leader"),
+        telemetry=bus,
     )
     wire(net, "leader", leader)
 
@@ -232,7 +237,7 @@ def _run_traffic(
     for uid in member_ids:
         creds = directory.register_password(uid, f"pw-{uid}")
         core = MemberProtocol(creds, "leader", rng.fork(uid))
-        dm = DataMember(core, clock=lambda: now[0])
+        dm = DataMember(core, clock=lambda: now[0], telemetry=bus)
         dm.sender.budget = RetryBudget(
             ratio=config.retry_ratio, min_reserve=config.retry_reserve)
         members[uid] = dm

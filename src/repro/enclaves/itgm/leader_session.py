@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.crypto.aead import AuthenticatedCipher, SealedBox
+from repro.crypto.aead import AuthenticatedCipher, SealedBox, SealRequest
 from repro.crypto.keys import KEY_LEN, LongTermKey, SessionKey
 from repro.crypto.rng import NONCE_LEN, RandomSource, SystemRandom
 from repro.enclaves.common import Event, Joined, Left, Rejected
@@ -97,23 +97,49 @@ class LeaderSession:
         Only legal in Connected (the channel is stop-and-wait: one
         outstanding admin message per member).
         """
+        request = self.prepare_admin(payload)
+        return self.finish_admin(
+            request.cipher.seal(request.plaintext, request.associated_data)
+        )
+
+    def prepare_admin(self, payload: AdminPayload) -> SealRequest:
+        """Phase 1 of an admin send: everything except the seal.
+
+        Advances the nonce chain and the channel state exactly as
+        :meth:`send_admin` would, and returns the
+        :class:`~repro.crypto.aead.SealRequest` for the frame body.  The
+        leader's fan-out collects one request per member and seals them
+        in a single :func:`repro.crypto.aead.seal_many` batch; the
+        sealed box must then come back through :meth:`finish_admin`
+        (before any other frame is processed) to arm retransmission.
+        """
         if self.state is not LeaderState.CONNECTED:
             raise StateError(f"cannot send admin from {self.state}")
         assert self._session_cipher is not None and self._nonce is not None
         n_l = self._rng.nonce().value
-        body = self._session_cipher.seal(
-            encode_fields(
-                [encode_str(self.leader_id), encode_str(self.user_id),
-                 self._nonce, n_l, payload.encode()]
-            ),
-            seal_ad(Label.ADMIN_MSG, self.leader_id, self.user_id),
-        ).to_bytes()
+        plaintext = encode_fields(
+            [encode_str(self.leader_id), encode_str(self.user_id),
+             self._nonce, n_l, payload.encode()]
+        )
         self._nonce = n_l
         self.state = LeaderState.WAITING_FOR_ACK
         self.admin_log.append(payload)
         self.version += 1
         self.stats.admin_sent += 1
-        envelope = Envelope(Label.ADMIN_MSG, self.leader_id, self.user_id, body)
+        return SealRequest(
+            cipher=self._session_cipher,
+            plaintext=plaintext,
+            associated_data=seal_ad(
+                Label.ADMIN_MSG, self.leader_id, self.user_id
+            ),
+        )
+
+    def finish_admin(self, box: SealedBox) -> Envelope:
+        """Phase 2 of an admin send: wrap the sealed body and arm
+        retransmission (see :meth:`prepare_admin`)."""
+        envelope = Envelope(
+            Label.ADMIN_MSG, self.leader_id, self.user_id, box.to_bytes()
+        )
         self._last_outbound = envelope
         return envelope
 

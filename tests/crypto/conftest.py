@@ -1,0 +1,12 @@
+"""Shared fixtures for the crypto suite: backend parameterization."""
+
+import pytest
+
+from repro.crypto.provider import available_backends, using_provider
+
+
+@pytest.fixture(params=sorted(available_backends()))
+def backend(request):
+    """Run the test under each registered crypto backend in turn."""
+    with using_provider(request.param):
+        yield request.param

@@ -97,3 +97,48 @@ class TestPairwiseKeyDerivation:
         b = derive_pairwise_long_term_key(alice, leader.public, "alice", "L2")
         c = derive_pairwise_long_term_key(alice, leader.public, "alicia", "L1")
         assert len({a, b, c}) == 3
+
+
+class TestTypedRejection:
+    """Negative paths: malformed inputs die typed before touching keys."""
+
+    @pytest.mark.parametrize("public", [None, "3", 3.0, b"\x03"],
+                             ids=["none", "str", "float", "bytes"])
+    def test_non_int_public_key_rejected(self, public):
+        with pytest.raises(CryptoError):
+            validate_public_key(public)
+
+    def test_bool_public_key_rejected(self):
+        # bool is an int subclass; True would otherwise read as the
+        # small-order element 1 and only fail on the *range* check —
+        # reject the type itself, never coerce.
+        with pytest.raises(CryptoError):
+            validate_public_key(True)
+
+    def test_shared_secret_rejects_non_int_peer(self):
+        alice = generate_keypair(DeterministicRandom(30))
+        with pytest.raises(CryptoError):
+            shared_secret(alice, "not-a-key")
+
+    @pytest.mark.parametrize("user_id,leader_id", [
+        (b"alice", "leader"),
+        ("alice", 7),
+        (None, "leader"),
+    ], ids=["bytes-user", "int-leader", "none-user"])
+    def test_non_str_identities_rejected(self, user_id, leader_id):
+        alice = generate_keypair(DeterministicRandom(30))
+        leader = generate_keypair(DeterministicRandom(31))
+        with pytest.raises(CryptoError):
+            derive_pairwise_long_term_key(
+                alice, leader.public, user_id, leader_id
+            )
+
+    def test_separator_in_identity_rejected(self):
+        # "|" delimits the KDF info string; ("x|y", "z") and ("x", "y|z")
+        # would otherwise derive the *same* P_a for different parties.
+        alice = generate_keypair(DeterministicRandom(30))
+        leader = generate_keypair(DeterministicRandom(31))
+        with pytest.raises(CryptoError):
+            derive_pairwise_long_term_key(alice, leader.public, "x|y", "z")
+        with pytest.raises(CryptoError):
+            derive_pairwise_long_term_key(alice, leader.public, "x", "y|z")

@@ -102,3 +102,58 @@ class TestSystemRandom:
         rng = SystemRandom()
         nonces = {rng.nonce().value for _ in range(100)}
         assert len(nonces) == 100
+
+
+class TestTypedRejection:
+    """Negative paths: bad inputs fail loudly and typed, never truncate.
+
+    ``bytes[:n]`` with a negative ``n`` silently shortens — for an RNG
+    that means *short key material*, the worst silent failure there is.
+    These tests pin the typed errors that closed that hole.
+    """
+
+    @pytest.mark.parametrize("rng", [SystemRandom(), DeterministicRandom(1)],
+                             ids=["system", "deterministic"])
+    def test_negative_count_is_value_error(self, rng):
+        with pytest.raises(ValueError):
+            rng.random_bytes(-1)
+
+    @pytest.mark.parametrize("rng", [SystemRandom(), DeterministicRandom(1)],
+                             ids=["system", "deterministic"])
+    @pytest.mark.parametrize("count", [None, 3.0, "16", True],
+                             ids=["none", "float", "str", "bool"])
+    def test_non_int_count_is_type_error(self, rng, count):
+        with pytest.raises(TypeError):
+            rng.random_bytes(count)
+
+    def test_zero_count_is_fine(self):
+        assert DeterministicRandom(1).random_bytes(0) == b""
+
+    def test_bool_seed_rejected(self):
+        # bool is an int subclass; True would silently alias seed 1.
+        with pytest.raises(TypeError):
+            DeterministicRandom(True)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(-1)
+
+    def test_oversized_int_seed_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(1 << 64)
+        # The boundary itself is fine.
+        DeterministicRandom((1 << 64) - 1)
+
+    @pytest.mark.parametrize("seed", [None, 1.5, ["s"]],
+                             ids=["none", "float", "list"])
+    def test_unsupported_seed_type_rejected(self, seed):
+        with pytest.raises(TypeError):
+            DeterministicRandom(seed)
+
+    def test_bytearray_seed_accepted_and_equivalent(self):
+        assert DeterministicRandom(bytearray(b"s")).random_bytes(8) == \
+            DeterministicRandom(b"s").random_bytes(8)
+
+    def test_fork_label_must_be_str(self):
+        with pytest.raises(TypeError):
+            DeterministicRandom(1).fork(b"label")
